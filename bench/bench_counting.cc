@@ -1,0 +1,91 @@
+// E2 — Table 2 "Counting costs (sLL/PCSA)".
+//
+// Paper (N = 1024, k = 24, four relations, per-count averages):
+//   m     nodes visited   hops        BW (kBytes)   error (%)
+//   128   68 / 65         86 / 69     11.0 / 8.8    5.0 / 5.8
+//   256   73 / 69         92 / 77     11.8 / 9.6    3.5 / 4.3
+//   512   81 / 80         120 / 114   15.4 / 15.9   1.8 / 2.7
+//   1024  96 / 91         139 / 128   17.8 / 16.0   1.1 / 7.5
+//
+// For each m this binary populates a fresh DHS with Q/R/S/T and issues
+// counts from random nodes with both estimators (insertion state is
+// estimator-agnostic, §3).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dhs {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = WorkloadScale();
+  const int nodes = EnvInt("DHS_NODES", 1024);
+  const int counts_per_relation = EnvInt("DHS_COUNTS", 8);
+  PrintHeader("E2 (Table 2): counting costs, sLL/PCSA",
+              "N=" + std::to_string(nodes) + ", k=24, scale=" +
+                  FormatDouble(scale, 3));
+  PrintRow({"m", "visited", "hops", "BW(kB)", "error(%)"});
+
+  const auto specs = PaperRelationSpecs(scale);
+  for (int m : {128, 256, 512, 1024}) {
+    auto net = MakeNetwork(nodes, 1);
+    DhsConfig config;
+    config.k = 24;
+    config.m = m;
+    auto client_or = DhsClient::Create(net.get(), config);
+    DhsClient sll = std::move(client_or.value());
+    config.estimator = DhsEstimator::kPcsa;
+    DhsClient pcsa = std::move(DhsClient::Create(net.get(), config).value());
+
+    Rng rng(100 + m);
+    std::vector<uint64_t> truths;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const Relation relation =
+          RelationGenerator::Generate(specs[i], 10 + i);
+      (void)PopulateRelation(*net, sll, relation, RelationMetric(i), rng);
+      truths.push_back(relation.NumTuples());
+    }
+
+    CountingCostSummary sll_summary;
+    CountingCostSummary pcsa_summary;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      for (int t = 0; t < counts_per_relation; ++t) {
+        auto a = sll.Count(net->RandomNode(rng), RelationMetric(i), rng);
+        auto b = pcsa.Count(net->RandomNode(rng), RelationMetric(i), rng);
+        if (a.ok()) {
+          sll_summary.Add(a->cost, a->estimate,
+                          static_cast<double>(truths[i]));
+        }
+        if (b.ok()) {
+          pcsa_summary.Add(b->cost, b->estimate,
+                           static_cast<double>(truths[i]));
+        }
+      }
+    }
+    auto cell = [](double sll_value, double pcsa_value, int digits) {
+      return FormatDouble(sll_value, digits) + " / " +
+             FormatDouble(pcsa_value, digits);
+    };
+    PrintRow({std::to_string(m),
+              cell(sll_summary.nodes_visited.mean(),
+                   pcsa_summary.nodes_visited.mean(), 0),
+              cell(sll_summary.hops.mean(), pcsa_summary.hops.mean(), 0),
+              cell(sll_summary.bytes.mean() / 1024.0,
+                   pcsa_summary.bytes.mean() / 1024.0, 1),
+              cell(100 * sll_summary.error.mean(),
+                   100 * pcsa_summary.error.mean(), 1)});
+  }
+  PrintPaperNote("m=512 row: 81/80 visited, 120/114 hops, 15.4/15.9 kB, "
+                 "1.8/2.7 % error");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dhs
+
+int main() {
+  dhs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E3 — "Scalability" (§5.2; the paper omits the figure for space).
+//
+// Paper: average counting hops grow from 109/97 (sLL/PCSA, N = 1024) to
+// ~112/103 at N = 10240 — i.e. logarithmic routing growth buried under a
+// constant interval-sweep cost. This binary sweeps N and prints the
+// per-count hop average for both estimators.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace dhs {
+namespace bench {
+namespace {
+
+void Run() {
+  const double scale = WorkloadScale();
+  const int counts = EnvInt("DHS_COUNTS", 12);
+  PrintHeader("E3: scalability — counting hops vs overlay size",
+              "k=24, m=512, relation S, scale=" + FormatDouble(scale, 3));
+  PrintRow({"N", "hops sLL", "hops PCSA", "visited sLL", "visited PCSA"});
+
+  RelationSpec spec = PaperRelationSpecs(scale)[2];  // S: 40M * scale
+  for (int nodes : {256, 1024, 4096, 10240}) {
+    auto net = MakeNetwork(nodes, 1);
+    DhsConfig config;
+    config.k = 24;
+    config.m = 512;
+    DhsClient sll = std::move(DhsClient::Create(net.get(), config).value());
+    config.estimator = DhsEstimator::kPcsa;
+    DhsClient pcsa =
+        std::move(DhsClient::Create(net.get(), config).value());
+
+    Rng rng(200 + nodes);
+    const Relation relation = RelationGenerator::Generate(spec, 12);
+    (void)PopulateRelation(*net, sll, relation, 1, rng);
+
+    CountingCostSummary sll_summary;
+    CountingCostSummary pcsa_summary;
+    for (int t = 0; t < counts; ++t) {
+      auto a = sll.Count(net->RandomNode(rng), 1, rng);
+      auto b = pcsa.Count(net->RandomNode(rng), 1, rng);
+      if (a.ok()) {
+        sll_summary.Add(a->cost, a->estimate,
+                        static_cast<double>(relation.NumTuples()));
+      }
+      if (b.ok()) {
+        pcsa_summary.Add(b->cost, b->estimate,
+                         static_cast<double>(relation.NumTuples()));
+      }
+    }
+    PrintRow({std::to_string(nodes),
+              FormatDouble(sll_summary.hops.mean(), 0),
+              FormatDouble(pcsa_summary.hops.mean(), 0),
+              FormatDouble(sll_summary.nodes_visited.mean(), 0),
+              FormatDouble(pcsa_summary.nodes_visited.mean(), 0)});
+  }
+  PrintPaperNote("109/97 hops at N=1024 -> ~112/103 at N=10240 (sLL/PCSA)");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dhs
+
+int main() {
+  dhs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// DHS-based histograms driving a join-order optimizer — the paper's
+// database motivation (§4.3/§5.2): an internet-scale query engine (a la
+// PIER) stores relations across the overlay; a node that wants to run a
+// multi-way join reconstructs equi-width histograms from the DHS at
+// ~kilobyte cost and picks the join order that minimizes data transfer.
+//
+//   $ ./examples/histogram_optimizer
+
+#include "dht/chord.h"
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dhs/client.h"
+#include "hashing/hasher.h"
+#include "histogram/dhs_histogram.h"
+#include "queryopt/optimizer.h"
+#include "relation/relation.h"
+
+int main() {
+  dhs::ChordNetwork network;
+  for (int i = 0; i < 256; ++i) {
+    (void)network.AddNodeFromName("db-node-" + std::to_string(i));
+  }
+  dhs::DhsConfig config;
+  config.m = 64;
+  auto client_or = dhs::DhsClient::Create(&network, config);
+  if (!client_or.ok()) return 1;
+  dhs::DhsClient client = std::move(client_or.value());
+
+  // Three relations sharing join attribute `a` over [1, 100000]:
+  // orders (small), customers (medium), events (large, skewed).
+  struct Table {
+    const char* name;
+    uint64_t tuples;
+    double theta;
+  };
+  const Table tables[] = {
+      {"orders", 20000, 0.0},
+      {"customers", 80000, 0.3},
+      {"events", 300000, 0.8},
+  };
+  const dhs::HistogramSpec hspec(1, 100000, 50);
+  dhs::Rng rng(11);
+
+  dhs::JoinQuery query;
+  uint64_t reconstruction_bytes = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    dhs::RelationSpec spec;
+    spec.name = tables[i].name;
+    spec.num_tuples = tables[i].tuples;
+    spec.domain_size = 100000;
+    spec.zipf_theta = tables[i].theta;
+    spec.tuple_bytes = 1024;
+    const dhs::Relation relation =
+        dhs::RelationGenerator::Generate(spec, 30 + i);
+
+    // Each node records its local tuples under the histogram's bucket
+    // metrics (one-time cost, amortized over every future query).
+    dhs::DhsHistogram histogram(&client, hspec, 0x41aa + i);
+    dhs::MixHasher hasher(i);
+    const auto assignment =
+        dhs::AssignTuplesToNodes(relation, network.NodeIds(), rng);
+    for (const auto& [node, tuples] : assignment) {
+      std::vector<std::pair<uint64_t, int64_t>> items;
+      for (uint64_t t : tuples) {
+        items.emplace_back(hasher.HashU64(relation.TupleId(t)),
+                           relation.Value(t));
+      }
+      (void)histogram.InsertBatch(node, items, rng);
+    }
+
+    // The querying node reconstructs the histogram over the DHS.
+    network.ResetStats();
+    auto reconstruction =
+        histogram.Reconstruct(network.RandomNode(rng), rng);
+    if (!reconstruction.ok()) return 1;
+    reconstruction_bytes += network.stats().bytes;
+    std::printf("%-10s: |R| = %llu tuples, histogram reconstructed for "
+                "%.1f kB in %d hops\n",
+                tables[i].name,
+                static_cast<unsigned long long>(relation.NumTuples()),
+                static_cast<double>(network.stats().bytes) / 1024.0,
+                reconstruction->cost.hops);
+
+    query.inputs.push_back(dhs::JoinInput{
+        tables[i].name,
+        dhs::AttributeStats{hspec, reconstruction->buckets}, 1024});
+  }
+
+  // Enumerate left-deep join orders against the reconstructed stats.
+  dhs::JoinOptimizer optimizer(&query);
+  auto best = optimizer.Best();
+  auto worst = optimizer.Worst();
+  if (!best.ok() || !worst.ok()) return 1;
+  std::printf("\noptimizer verdict (PIER-style transfer cost):\n");
+  std::printf("  best plan : %-34s  ~%.1f MB shipped\n",
+              best->OrderString(query).c_str(),
+              best->transfer_bytes / 1e6);
+  std::printf("  worst plan: %-34s  ~%.1f MB shipped\n",
+              worst->OrderString(query).c_str(),
+              worst->transfer_bytes / 1e6);
+  std::printf("  statistics cost: %.2f MB for all three histograms — "
+              "%.0fx cheaper than the savings (%.1f MB)\n",
+              reconstruction_bytes / 1e6,
+              (worst->transfer_bytes - best->transfer_bytes) /
+                  static_cast<double>(reconstruction_bytes),
+              (worst->transfer_bytes - best->transfer_bytes) / 1e6);
+
+  // Bonus: the histograms also answer range-selectivity questions.
+  const auto& events = query.inputs[2].stats;
+  std::printf("\nselectivity(events.a <= 10000) ~ %.1f%% (Zipf head)\n",
+              100 * dhs::EstimateRangeSelectivity(events, 1, 10000));
+  std::printf("selectivity(events.a >  90000) ~ %.1f%% (Zipf tail)\n",
+              100 * dhs::EstimateRangeSelectivity(events, 90001, 100000));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Duplicate-insensitive sensor aggregation — the paper's sensor-network
+// motivation (§1): many sensors observe (and report) the SAME events, so
+// a naive sum over-counts; hash sketches count each distinct event once.
+// This example also exercises the soft-state machinery (§3.3): events
+// expire unless refreshed, so the count tracks a sliding window, and
+// abrupt sensor-gateway failures (§3.5) only degrade the estimate
+// gracefully.
+//
+//   $ ./examples/sensor_aggregation
+
+#include "dht/chord.h"
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dhs/client.h"
+#include "hashing/hasher.h"
+
+int main() {
+  // 128 gateway nodes forming the overlay; thousands of sensors report
+  // through them.
+  dhs::ChordNetwork network;
+  for (int i = 0; i < 128; ++i) {
+    (void)network.AddNodeFromName("gateway-" + std::to_string(i));
+  }
+  dhs::DhsConfig config;
+  config.m = 128;
+  config.ttl_ticks = 3;       // an observation lives for 3 epochs
+  config.replication = 2;     // §3.5: tolerate gateway failures
+  auto client_or = dhs::DhsClient::Create(&network, config);
+  if (!client_or.ok()) return 1;
+  dhs::DhsClient client = std::move(client_or.value());
+
+  const uint64_t kEventsMetric = 0xeee1;
+  dhs::MixHasher event_hasher(0x5e50);
+  dhs::Rng rng(3);
+  const auto gateways = network.NodeIds();
+
+  std::printf("epoch  active-events  estimate  error%%   note\n");
+  std::set<uint64_t> window_truth;
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    // Traffic profile: a burst in epochs 2-3, quiet epochs 6-7.
+    const int events_this_epoch = (epoch == 2 || epoch == 3) ? 30000
+                                  : (epoch >= 6)             ? 2000
+                                                             : 10000;
+    // Each event is observed by ~4 sensors attached to different
+    // gateways — duplicates by construction.
+    std::vector<std::vector<uint64_t>> per_gateway(gateways.size());
+    for (int e = 0; e < events_this_epoch; ++e) {
+      const uint64_t event_id =
+          event_hasher.Hash("event-" + std::to_string(epoch) + "-" +
+                            std::to_string(e));
+      window_truth.insert(event_id);
+      const int observers = 1 + static_cast<int>(rng.UniformU64(6));
+      for (int o = 0; o < observers; ++o) {
+        per_gateway[rng.UniformU64(gateways.size())].push_back(event_id);
+      }
+    }
+    for (size_t g = 0; g < gateways.size(); ++g) {
+      if (!per_gateway[g].empty()) {
+        (void)client.InsertBatch(gateways[g], kEventsMetric,
+                                 per_gateway[g], rng);
+      }
+    }
+
+    // One epoch passes and soft state ages. An observation inserted in
+    // epoch p expires at tick p + 3, so after this tick the live window
+    // covers epochs p >= epoch - 1 (two epochs).
+    network.AdvanceClock(1);
+    if (epoch == 4) {
+      // 12 random gateways die abruptly, taking their DHS state along.
+      // (Failing a *contiguous* ring run would also defeat the
+      // successor-replication — see tests/integration for that case.)
+      auto ids = network.NodeIds();
+      int failed = 0;
+      while (failed < 12) {
+        const uint64_t victim = ids[rng.UniformU64(ids.size())];
+        if (network.FailNode(victim).ok()) ++failed;
+      }
+    }
+
+    // Ground truth for the live (2-epoch) sliding window.
+    window_truth.clear();
+    for (int past = std::max(0, epoch - 1); past <= epoch; ++past) {
+      const int count = (past == 2 || past == 3) ? 30000
+                        : (past >= 6)            ? 2000
+                                                 : 10000;
+      for (int e = 0; e < count; ++e) {
+        window_truth.insert(event_hasher.Hash(
+            "event-" + std::to_string(past) + "-" + std::to_string(e)));
+      }
+    }
+
+    auto result = client.Count(network.RandomNode(rng), kEventsMetric, rng);
+    if (!result.ok()) return 1;
+    const double truth = static_cast<double>(window_truth.size());
+    std::printf("%5d  %13zu  %8.0f  %6.1f   %s\n", epoch,
+                window_truth.size(), result->estimate,
+                100 * (result->estimate - truth) / truth,
+                epoch == 2   ? "burst begins"
+                : epoch == 4 ? "12 gateways failed"
+                : epoch == 6 ? "quiet period"
+                             : "");
+  }
+  std::printf("\nthe estimate tracks the sliding window through bursts, "
+              "failures and decay — each count costing O(k log N) hops, "
+              "duplicate-free by construction\n");
+  return 0;
+}

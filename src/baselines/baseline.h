@@ -1,0 +1,23 @@
+// Common vocabulary for the related-work baseline counters (§1 "Related
+// Work"): one-node-per-counter, gossip, broadcast/convergecast, and
+// sampling. All run against the same DhtNetwork as DHS, so costs and
+// load distributions are directly comparable.
+
+#ifndef DHS_BASELINES_BASELINE_H_
+#define DHS_BASELINES_BASELINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dhs {
+
+/// The application state baselines aggregate over: for each node (by ID),
+/// the hashes of the items it locally stores. DHS does not need this —
+/// its state lives in the DHT — but gossip/convergecast/sampling
+/// protocols aggregate local state directly.
+using LocalItems = std::unordered_map<uint64_t, std::vector<uint64_t>>;
+
+}  // namespace dhs
+
+#endif  // DHS_BASELINES_BASELINE_H_

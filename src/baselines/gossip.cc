@@ -1,0 +1,171 @@
+#include "baselines/gossip.h"
+
+#include <bit>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "sketch/pcsa.h"
+
+namespace dhs {
+
+PushSumGossip::PushSumGossip(DhtNetwork* network,
+                             const LocalItems& local_items)
+    : network_(network), local_items_(&local_items) {}
+
+StatusOr<GossipResult> PushSumGossip::Run(uint64_t origin_node,
+                                          int max_rounds, double tolerance,
+                                          Rng& rng) {
+  const std::vector<uint64_t> nodes = network_->NodeIds();
+  if (nodes.empty()) return Status::FailedPrecondition("empty network");
+  if (!network_->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+
+  // Push-sum state: sum_i value_i converges to the global sum when read
+  // as value/weight at the node holding weight mass.
+  std::unordered_map<uint64_t, double> value;
+  std::unordered_map<uint64_t, double> weight;
+  for (uint64_t node : nodes) {
+    auto it = local_items_->find(node);
+    value[node] =
+        it == local_items_->end() ? 0.0 : static_cast<double>(it->second.size());
+    weight[node] = 0.0;
+  }
+  weight[origin_node] = 1.0;
+
+  GossipResult result;
+  double previous = -1.0;
+  int stable_rounds = 0;
+  constexpr size_t kMessageBytes = 16;  // (value, weight) pair
+  // Push-sum needs ~log N rounds just to mix mass; transient plateaus
+  // before that must not trigger the convergence detector.
+  const int min_rounds =
+      4 * (64 - std::countl_zero(static_cast<uint64_t>(nodes.size())));
+
+  for (int round = 0; round < max_rounds; ++round) {
+    // Synchronous round: every node halves its mass and pushes one share
+    // to a uniformly random peer.
+    std::unordered_map<uint64_t, double> value_in;
+    std::unordered_map<uint64_t, double> weight_in;
+    for (uint64_t node : nodes) {
+      const uint64_t peer = nodes[rng.UniformU64(nodes.size())];
+      const double v_half = value[node] / 2.0;
+      const double w_half = weight[node] / 2.0;
+      value[node] = v_half;
+      weight[node] = w_half;
+      value_in[peer] += v_half;
+      weight_in[peer] += w_half;
+      Status s = network_->DirectHop(node, peer, kMessageBytes);
+      if (!s.ok()) return s;
+    }
+    for (const auto& [node, v] : value_in) value[node] += v;
+    for (const auto& [node, w] : weight_in) weight[node] += w;
+    result.rounds = round + 1;
+
+    const double w0 = weight[origin_node];
+    const double estimate = w0 > 0.0 ? value[origin_node] / w0 : 0.0;
+    if (round >= min_rounds && previous > 0.0 && estimate > 0.0 &&
+        std::fabs(estimate - previous) / previous < tolerance) {
+      if (++stable_rounds >= 5) {
+        result.estimate = estimate;
+        break;
+      }
+    } else {
+      stable_rounds = 0;
+    }
+    previous = estimate;
+    result.estimate = estimate;
+  }
+
+  // Convergence diagnostic: how many nodes hold a mass ratio within 1% of
+  // the true sum (nodes with negligible weight are counted as not
+  // converged — they cannot answer the query locally).
+  double true_sum = 0.0;
+  for (uint64_t node : nodes) {
+    auto it = local_items_->find(node);
+    if (it != local_items_->end()) {
+      true_sum += static_cast<double>(it->second.size());
+    }
+  }
+  size_t converged = 0;
+  for (uint64_t node : nodes) {
+    const double w = weight[node];
+    if (w > 1e-9) {
+      const double est = value[node] / w;
+      if (true_sum > 0.0 && std::fabs(est - true_sum) / true_sum < 0.01) {
+        ++converged;
+      }
+    }
+  }
+  result.converged_fraction =
+      static_cast<double>(converged) / static_cast<double>(nodes.size());
+  return result;
+}
+
+SketchGossip::SketchGossip(DhtNetwork* network,
+                           const LocalItems& local_items, int num_bitmaps,
+                           int bits)
+    : network_(network),
+      local_items_(&local_items),
+      num_bitmaps_(num_bitmaps),
+      bits_(bits) {}
+
+StatusOr<GossipResult> SketchGossip::Run(uint64_t origin_node, int rounds,
+                                         Rng& rng) {
+  const std::vector<uint64_t> nodes = network_->NodeIds();
+  if (nodes.empty()) return Status::FailedPrecondition("empty network");
+  if (!network_->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+
+  std::unordered_map<uint64_t, PcsaSketch> sketches;
+  sketches.reserve(nodes.size());
+  for (uint64_t node : nodes) {
+    PcsaSketch sketch(num_bitmaps_, bits_);
+    auto it = local_items_->find(node);
+    if (it != local_items_->end()) {
+      for (uint64_t hash : it->second) sketch.AddHash(hash);
+    }
+    sketches.emplace(node, std::move(sketch));
+  }
+  const size_t message_bytes = sketches.begin()->second.SerializedBytes();
+
+  for (int round = 0; round < rounds; ++round) {
+    // Push round: sends are based on the start-of-round sketches.
+    std::vector<std::pair<uint64_t, PcsaSketch>> inbox;
+    inbox.reserve(nodes.size());
+    for (uint64_t node : nodes) {
+      const uint64_t peer = nodes[rng.UniformU64(nodes.size())];
+      inbox.emplace_back(peer, sketches.at(node));
+      Status s = network_->DirectHop(node, peer, message_bytes);
+      if (!s.ok()) return s;
+    }
+    for (auto& [peer, sketch] : inbox) {
+      Status s = sketches.at(peer).Merge(sketch);
+      if (!s.ok()) return s;
+    }
+  }
+
+  // Convergence diagnostic: fraction of nodes whose sketch equals the
+  // global union (same estimate).
+  PcsaSketch global(num_bitmaps_, bits_);
+  for (const auto& [node, sketch] : sketches) {
+    Status s = global.Merge(sketch);
+    if (!s.ok()) return s;
+  }
+  const double global_estimate = global.Estimate();
+  size_t converged = 0;
+  for (const auto& [node, sketch] : sketches) {
+    if (sketch.Estimate() == global_estimate) ++converged;
+  }
+
+  GossipResult result;
+  result.rounds = rounds;
+  result.estimate = sketches.at(origin_node).Estimate();
+  result.converged_fraction =
+      static_cast<double>(converged) / static_cast<double>(nodes.size());
+  return result;
+}
+
+}  // namespace dhs

@@ -1,0 +1,72 @@
+// Gossip-based aggregation baselines (§1's second family, e.g. Kempe et
+// al. FOCS '03). Two variants:
+//
+//  * PushSumGossip — classic push-sum: converges to the *sum* of local
+//    values at the querying node. Duplicate-sensitive (it sums local
+//    counts; shared items are counted once per holder).
+//  * SketchGossip — anti-entropy dissemination of mergeable hash
+//    sketches: every node pushes its current sketch to a random peer
+//    each round; the union converges to the global sketch at all nodes.
+//    Duplicate-insensitive but pays sketch-sized messages every round.
+//
+// Both run in synchronous rounds: every live node sends one message per
+// round (charged as one hop each, i.e. assuming an ideal peer-sampling
+// service — a *lower bound* on real gossip cost over a DHT).
+
+#ifndef DHS_BASELINES_GOSSIP_H_
+#define DHS_BASELINES_GOSSIP_H_
+
+#include <cstdint>
+
+#include "baselines/baseline.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "dht/network.h"
+
+namespace dhs {
+
+/// Outcome of a gossip run.
+struct GossipResult {
+  double estimate = 0.0;
+  int rounds = 0;
+  /// Fraction of nodes whose local view already equals the converged
+  /// value within the tolerance (the "eventual consistency" caveat).
+  double converged_fraction = 0.0;
+};
+
+/// Push-sum protocol computing the sum of per-node values.
+class PushSumGossip {
+ public:
+  /// `local_items`: per-node item lists; the per-node value is the list
+  /// size (local item count).
+  PushSumGossip(DhtNetwork* network, const LocalItems& local_items);
+
+  /// Runs until the querying node's estimate changes by less than
+  /// `tolerance` (relative) for 3 consecutive rounds, or `max_rounds`.
+  StatusOr<GossipResult> Run(uint64_t origin_node, int max_rounds,
+                             double tolerance, Rng& rng);
+
+ private:
+  DhtNetwork* network_;
+  const LocalItems* local_items_;
+};
+
+/// Anti-entropy union of per-node PCSA sketches.
+class SketchGossip {
+ public:
+  SketchGossip(DhtNetwork* network, const LocalItems& local_items,
+               int num_bitmaps, int bits);
+
+  /// Runs exactly `rounds` rounds and reads the estimate at the origin.
+  StatusOr<GossipResult> Run(uint64_t origin_node, int rounds, Rng& rng);
+
+ private:
+  DhtNetwork* network_;
+  const LocalItems* local_items_;
+  int num_bitmaps_;
+  int bits_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_BASELINES_GOSSIP_H_

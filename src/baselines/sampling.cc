@@ -1,0 +1,56 @@
+#include "baselines/sampling.h"
+
+#include <cmath>
+
+namespace dhs {
+
+SamplingEstimator::SamplingEstimator(DhtNetwork* network,
+                                     const LocalItems& local_items)
+    : network_(network), local_items_(&local_items) {}
+
+StatusOr<SamplingEstimator::Result> SamplingEstimator::EstimateTotal(
+    uint64_t origin_node, int sample_size, Rng& rng) {
+  if (!network_->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+  if (sample_size < 1) {
+    return Status::InvalidArgument("sample_size must be >= 1");
+  }
+  const IdSpace& space = network_->space();
+  // 2^L as a double (exact for L = 64 in double's exponent range).
+  const double space_size = std::ldexp(1.0, space.bits());
+
+  Result result;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < sample_size; ++i) {
+    const uint64_t key = space.Clamp(rng.Next());
+    auto lookup = network_->Lookup(origin_node, key, 8);
+    if (!lookup.ok()) return lookup.status();
+    const uint64_t node = lookup->node;
+    network_->ChargeBytes(16);  // response: count + arc length
+
+    auto pred = network_->PredecessorOfNode(node);
+    if (!pred.ok()) return pred.status();
+    uint64_t arc = space.Distance(pred.value(), node);
+    if (arc == 0) arc = space.Mask();  // single-node ring owns everything
+
+    auto items_it = local_items_->find(node);
+    const double count =
+        items_it == local_items_->end()
+            ? 0.0
+            : static_cast<double>(items_it->second.size());
+    // Horvitz-Thompson term: count / P(node sampled).
+    const double weighted = count * space_size / static_cast<double>(arc);
+    sum += weighted;
+    sum_sq += weighted * weighted;
+    result.nodes_sampled += 1;
+  }
+  const double n = static_cast<double>(sample_size);
+  result.estimate = sum / n;
+  const double variance = sum_sq / n - (sum / n) * (sum / n);
+  result.sample_stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return result;
+}
+
+}  // namespace dhs

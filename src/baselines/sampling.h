@@ -1,0 +1,50 @@
+// Random-sampling baseline (§1's fourth family, e.g. Bharambe et al.
+// Mercury, Manku PODC '03): estimate a global total by probing a uniform
+// sample of nodes and extrapolating. Duplicate-sensitive, and accuracy is
+// bounded by sample variance (the Chaudhuri-Motwani-Narasayya critique
+// the paper cites).
+
+#ifndef DHS_BASELINES_SAMPLING_H_
+#define DHS_BASELINES_SAMPLING_H_
+
+#include <cstdint>
+
+#include "baselines/baseline.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "dht/network.h"
+
+namespace dhs {
+
+class SamplingEstimator {
+ public:
+  SamplingEstimator(DhtNetwork* network, const LocalItems& local_items);
+
+  struct Result {
+    double estimate = 0.0;    // N * mean(sampled local counts)
+    int nodes_sampled = 0;
+    double sample_stddev = 0.0;
+  };
+
+  /// Samples `sample_size` nodes by routing to uniformly random IDs (one
+  /// O(log N) lookup per sample). A node's chance of being hit is
+  /// proportional to its ring-arc length, so the total is extrapolated
+  /// with the Horvitz-Thompson correction (count / arc-fraction), which
+  /// the sampled node computes locally from its predecessor pointer.
+  ///
+  /// Geometry caveat: the arc-length weights are exact under ring
+  /// (Chord) responsibility only. Under Kademlia's XOR responsibility a
+  /// node's key cell is generally NOT its ring arc, so the estimator is
+  /// biased there — a geometry-general version would need the overlay to
+  /// expose its ownership measure.
+  StatusOr<Result> EstimateTotal(uint64_t origin_node, int sample_size,
+                                 Rng& rng);
+
+ private:
+  DhtNetwork* network_;
+  const LocalItems* local_items_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_BASELINES_SAMPLING_H_

@@ -1,0 +1,40 @@
+// Small bit-manipulation helpers shared by the sketch and DHT layers.
+
+#ifndef DHS_COMMON_BIT_UTIL_H_
+#define DHS_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace dhs {
+
+/// True iff x is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); undefined for x == 0.
+constexpr int Log2Floor(uint64_t x) {
+  return 63 - std::countl_zero(x);
+}
+
+/// ceil(log2(x)); Log2Ceil(1) == 0. Undefined for x == 0.
+constexpr int Log2Ceil(uint64_t x) {
+  return IsPowerOfTwo(x) ? Log2Floor(x) : Log2Floor(x) + 1;
+}
+
+/// The k low-order bits of x. LowBits(x, 64) == x; LowBits(x, 0) == 0.
+constexpr uint64_t LowBits(uint64_t x, int k) {
+  if (k >= 64) return x;
+  if (k <= 0) return 0;
+  return x & ((uint64_t{1} << k) - 1);
+}
+
+/// The value of bit position k (0 = least significant) of x.
+constexpr int GetBit(uint64_t x, int k) {
+  return static_cast<int>((x >> k) & 1u);
+}
+
+}  // namespace dhs
+
+#endif  // DHS_COMMON_BIT_UTIL_H_

@@ -1,0 +1,78 @@
+// Statistics accumulators used for experiment reporting: streaming
+// mean/variance (Welford), and a sample collector for percentiles and
+// relative-error summaries.
+
+#ifndef DHS_COMMON_STATS_H_
+#define DHS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dhs {
+
+/// Streaming count/mean/variance/min/max accumulator (Welford's method).
+/// O(1) space; numerically stable.
+class StreamingStats {
+ public:
+  StreamingStats() = default;
+
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const StreamingStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples for percentile queries. O(n) space.
+class SampleStats {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// p in [0, 1]; nearest-rank percentile. Returns 0 when empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(0.5); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// |estimate - truth| / truth. Returns |estimate| when truth == 0 (so a
+/// correct zero estimate reports zero error).
+double RelativeError(double estimate, double truth);
+
+/// Formats a double with `digits` significant decimals (reporting helper).
+std::string FormatDouble(double x, int digits = 2);
+
+}  // namespace dhs
+
+#endif  // DHS_COMMON_STATS_H_

@@ -1,0 +1,37 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dhs {
+
+ZipfGenerator::ZipfGenerator(uint64_t domain, double theta)
+    : domain_(domain), theta_(theta), cdf_(domain) {
+  assert(domain >= 1);
+  assert(theta >= 0.0);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < domain; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (uint64_t i = 0; i < domain; ++i) {
+    cdf_[i] /= sum;
+  }
+  cdf_[domain - 1] = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfGenerator::Probability(uint64_t value) const {
+  if (value < 1 || value > domain_) return 0.0;
+  const double above = cdf_[value - 1];
+  const double below = value >= 2 ? cdf_[value - 2] : 0.0;
+  return above - below;
+}
+
+}  // namespace dhs

@@ -1,0 +1,46 @@
+// Zipf-distributed integer generator, used by the paper's workload:
+// relation attributes receive values from Zipf(theta = 0.7).
+//
+// P(value = i) is proportional to 1 / i^theta for i in [1, domain]. The
+// paper's convention (as in most P2P/database literature, e.g. Gray et al.
+// SIGMOD '94) has theta = 0 as uniform and larger theta as more skewed.
+
+#ifndef DHS_COMMON_ZIPF_H_
+#define DHS_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dhs {
+
+/// Generates Zipf(theta)-distributed values over [1, domain].
+///
+/// The constructor precomputes the CDF (O(domain) time and space); each
+/// sample is then a binary search, O(log domain). For the domain sizes used
+/// in the evaluation (up to a few thousand distinct attribute values) this
+/// is both exact and fast.
+class ZipfGenerator {
+ public:
+  /// `domain` >= 1 distinct values; `theta` >= 0 (0 = uniform).
+  ZipfGenerator(uint64_t domain, double theta);
+
+  /// Draws one value in [1, domain].
+  uint64_t Sample(Rng& rng) const;
+
+  /// Exact probability of drawing `value` (1-based); 0 outside the domain.
+  double Probability(uint64_t value) const;
+
+  uint64_t domain() const { return domain_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t domain_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(value <= i + 1)
+};
+
+}  // namespace dhs
+
+#endif  // DHS_COMMON_ZIPF_H_

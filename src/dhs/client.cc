@@ -1,0 +1,347 @@
+#include "dhs/client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/bit_util.h"
+#include "dhs/lim.h"
+#include "sketch/estimator.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/rho.h"
+
+namespace dhs {
+
+DhsClient::DhsClient(DhtNetwork* network, const DhsConfig& config)
+    : network_(network),
+      config_(config),
+      mapping_(network->space(), config),
+      space_bits_cached_(network->space().bits()) {}
+
+StatusOr<DhsClient> DhsClient::Create(DhtNetwork* network,
+                                      const DhsConfig& config) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("network must not be null");
+  }
+  Status s = config.Validate(network->space());
+  if (!s.ok()) return s;
+  return DhsClient(network, config);
+}
+
+DhsPlacement DhsClient::PlaceItem(uint64_t item_hash) const {
+  // Vector selection uses hash bits above the k low-order bits, so that
+  // rho keeps the full k-bit range and the DHT interval layout (hence the
+  // counting cost) is independent of m.
+  DhsPlacement placement;
+  placement.vector_id =
+      static_cast<int>(LowBits(item_hash >> config_.k, config_.IndexBits()));
+  placement.rho = Rho(LowBits(item_hash, config_.k), config_.RhoBits());
+  return placement;
+}
+
+Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
+                             int bit, const std::vector<int>& vector_ids,
+                             Rng& rng, DhsCostReport* cost) {
+  auto interval = mapping_.IntervalForBit(bit);
+  if (!interval.ok()) return interval.status();
+
+  const uint64_t target_key = mapping_.RandomIdIn(*interval, rng);
+  const size_t payload = config_.TupleBytes() * vector_ids.size();
+  auto lookup = network_->Lookup(origin_node, target_key, payload);
+  if (!lookup.ok()) return lookup.status();
+  cost->dht_lookups += 1;
+  cost->hops += lookup->hops;
+  cost->bytes += payload * static_cast<size_t>(lookup->hops);
+
+  const uint64_t ttl = config_.ttl_ticks;
+  const uint64_t expires =
+      ttl == kNoExpiry ? kNoExpiry : network_->now() + ttl;
+
+  uint64_t holder = lookup->node;
+  for (int replica = 0; replica < config_.replication; ++replica) {
+    if (replica > 0) {
+      // §3.5: replicate the set bit to ring successors of the holder.
+      auto succ = network_->SuccessorOfNode(holder);
+      if (!succ.ok() || succ.value() == lookup->node) break;  // wrapped
+      Status hop = network_->DirectHop(holder, succ.value(), payload);
+      if (!hop.ok()) return hop;
+      cost->hops += 1;
+      cost->bytes += payload;
+      holder = succ.value();
+    }
+    NodeStore* store = network_->StoreAt(holder);
+    NodeLoad* load = network_->LoadAt(holder);
+    assert(store != nullptr && load != nullptr);
+    load->stores += 1;
+    for (int vector_id : vector_ids) {
+      store->Put(target_key, MakeDhsKey(metric_id, bit, vector_id),
+                 std::string(), expires);
+    }
+  }
+  return Status::OK();
+}
+
+Status DhsClient::Insert(uint64_t origin_node, uint64_t metric_id,
+                         uint64_t item_hash, Rng& rng) {
+  const DhsPlacement placement = PlaceItem(item_hash);
+  if (placement.rho < config_.shift_bits) {
+    // Bit-shift rule: the lowest shift_bits positions are assumed set.
+    return Status::OK();
+  }
+  DhsCostReport cost;
+  return StoreTuple(origin_node, metric_id, placement.rho,
+                    {placement.vector_id}, rng, &cost);
+}
+
+Status DhsClient::InsertBatch(uint64_t origin_node, uint64_t metric_id,
+                              const std::vector<uint64_t>& item_hashes,
+                              Rng& rng) {
+  // §3.2 bulk insertion: group by bit position r; one message per r
+  // carries all (deduplicated) vector updates for that position.
+  std::map<int, std::set<int>> by_bit;
+  for (uint64_t hash : item_hashes) {
+    const DhsPlacement placement = PlaceItem(hash);
+    if (placement.rho < config_.shift_bits) continue;
+    by_bit[placement.rho].insert(placement.vector_id);
+  }
+  DhsCostReport cost;
+  for (const auto& [bit, vectors] : by_bit) {
+    std::vector<int> vector_ids(vectors.begin(), vectors.end());
+    Status s = StoreTuple(origin_node, metric_id, bit, vector_ids, rng,
+                          &cost);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+std::vector<int> DhsClient::ProbeNodeForMetric(uint64_t node,
+                                               uint64_t metric_id, int bit,
+                                               DhsCostReport* cost) {
+  std::vector<int> vectors;
+  NodeStore* store = network_->StoreAt(node);
+  if (store == nullptr) return vectors;
+  NodeLoad* load = network_->LoadAt(node);
+  if (load != nullptr) load->probes += 1;
+  store->ForEachWithPrefix(
+      MakeDhsPrefix(metric_id, bit), network_->now(),
+      [&vectors](const std::string& key, const StoreRecord&) {
+        const int vector_id = VectorIdFromDhsKey(key);
+        if (vector_id >= 0) vectors.push_back(vector_id);
+      });
+  const size_t response = config_.ProbeResponseBytes(vectors.size());
+  network_->ChargeBytes(response);
+  cost->bytes += response;
+  return vectors;
+}
+
+int DhsClient::LimForBit(int bit) const {
+  if (!config_.adaptive_lim || config_.expected_cardinality == 0) {
+    return config_.lim;
+  }
+  auto interval = mapping_.IntervalForBit(bit);
+  if (!interval.ok()) return config_.lim;
+  // Expected nodes in the interval (N') and items mapped to it (n', over
+  // all bitmaps): eq. 6 then gives the probes needed for the configured
+  // hit probability. Sub-node intervals have at most a couple of
+  // holders; the flat lim suffices there.
+  const double fraction =
+      std::ldexp(static_cast<double>(interval->size),
+                 -space_bits_cached_);
+  const double n_bins = fraction * static_cast<double>(network_->NumNodes());
+  if (n_bins < 2.0) return config_.lim;
+  const double n_items = std::ldexp(
+      static_cast<double>(config_.expected_cardinality), -(bit + 1));
+  const int required = RequiredProbesReplicated(
+      static_cast<uint64_t>(n_bins), static_cast<uint64_t>(n_items),
+      config_.m, config_.replication,
+      /*p_miss=*/1.0 - config_.adaptive_confidence);
+  return std::clamp(required, config_.lim, config_.max_lim);
+}
+
+template <typename VisitFn, typename DoneFn>
+Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
+                                DhsCostReport* cost, VisitFn&& visit,
+                                DoneFn&& done) {
+  auto interval_or = mapping_.IntervalForBit(bit);
+  if (!interval_or.ok()) return interval_or.status();
+  const IdInterval interval = *interval_or;
+  const int lim = LimForBit(bit);
+
+  // Initial random probe into the interval, routed via the DHT.
+  const uint64_t target_key = mapping_.RandomIdIn(interval, rng);
+  const size_t request = config_.ProbeRequestBytes();
+  auto lookup = network_->Lookup(origin_node, target_key, request);
+  if (!lookup.ok()) return lookup.status();
+  cost->dht_lookups += 1;
+  cost->hops += lookup->hops;
+  cost->bytes += request * static_cast<size_t>(lookup->hops);
+
+  // Probe the responsible node, then walk the overlay's candidate
+  // holders (Alg. 1 lines 13-17; the candidate order is geometry-
+  // specific — ring neighbours for Chord, XOR-nearest for Kademlia).
+  const uint64_t start = lookup->node;
+  cost->nodes_visited += 1;
+  visit(start);
+  if (done()) return Status::OK();
+
+  const std::vector<uint64_t> candidates =
+      network_->ProbeCandidates(interval, target_key, start, lim - 1);
+  uint64_t current = start;
+  for (uint64_t next : candidates) {
+    Status hop = network_->DirectHop(current, next, request);
+    if (!hop.ok()) return hop;
+    cost->direct_probes += 1;
+    cost->hops += 1;
+    cost->bytes += request;
+    cost->nodes_visited += 1;
+    current = next;
+    visit(current);
+    if (done()) break;
+  }
+  return Status::OK();
+}
+
+StatusOr<DhsCountResult> DhsClient::Count(uint64_t origin_node,
+                                          uint64_t metric_id, Rng& rng) {
+  auto many = CountMany(origin_node, {metric_id}, rng);
+  if (!many.ok()) return many.status();
+  DhsCountResult result;
+  result.estimate = many->estimates[0];
+  result.observables = std::move(many->observables[0]);
+  result.cost = many->cost;
+  return result;
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+    Rng& rng) {
+  if (metric_ids.empty()) {
+    return Status::InvalidArgument("no metrics given");
+  }
+  if (!network_->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+  // sLL and HLL share the max-rho (high -> low) scan; PCSA scans for the
+  // leftmost zero (low -> high).
+  return config_.estimator == DhsEstimator::kPcsa
+             ? CountManyPcsa(origin_node, metric_ids, rng)
+             : CountManySll(origin_node, metric_ids, rng);
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+    Rng& rng) {
+  const size_t num_metrics = metric_ids.size();
+  const int m = config_.m;
+  MultiCountResult result;
+  result.observables.assign(num_metrics, std::vector<int>(m, -1));
+  size_t total_unresolved = num_metrics * static_cast<size_t>(m);
+
+  // Scan bit positions high -> low: the first set bit found for a bitmap
+  // is its maximal rho (the sLL observable).
+  for (int r = mapping_.MaxBit();
+       r >= mapping_.MinBit() && total_unresolved > 0; --r) {
+    Status s = ProbeInterval(
+        origin_node, r, rng, &result.cost,
+        [&](uint64_t node) {
+          for (size_t mi = 0; mi < num_metrics; ++mi) {
+            std::vector<int>& observed = result.observables[mi];
+            const std::vector<int> vectors =
+                ProbeNodeForMetric(node, metric_ids[mi], r, &result.cost);
+            for (int v : vectors) {
+              if (v < m && observed[v] < 0) {
+                observed[v] = r;
+                --total_unresolved;
+              }
+            }
+          }
+        },
+        [&] { return total_unresolved == 0; });
+    if (!s.ok()) return s;
+  }
+
+  result.estimates.reserve(num_metrics);
+  for (auto& observed : result.observables) {
+    const bool all_empty = std::all_of(observed.begin(), observed.end(),
+                                       [](int v) { return v < 0; });
+    if (!all_empty && config_.shift_bits > 0) {
+      // Bit-shift rule: bitmaps with no observed bit still have rho up to
+      // shift_bits - 1 among the disregarded (assumed-set) positions.
+      for (int& v : observed) {
+        if (v < 0) v = config_.shift_bits - 1;
+      }
+    }
+    result.estimates.push_back(
+        config_.estimator == DhsEstimator::kHyperLogLog
+            ? HyperLogLogEstimateFromM(observed)
+            : SuperLogLogEstimateFromM(observed, config_.theta0));
+  }
+  return result;
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsClient::CountManyPcsa(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+    Rng& rng) {
+  const size_t num_metrics = metric_ids.size();
+  const int m = config_.m;
+  MultiCountResult result;
+  // -1 = still open (all positions so far were observed set).
+  result.observables.assign(num_metrics, std::vector<int>(m, -1));
+  size_t total_open = num_metrics * static_cast<size_t>(m);
+
+  // Scan bit positions low -> high: a bitmap's observable M is the first
+  // position at which no set bit can be found (the leftmost zero).
+  std::vector<std::vector<char>> observed_here(
+      num_metrics, std::vector<char>(static_cast<size_t>(m), 0));
+  for (int r = mapping_.MinBit(); r <= mapping_.MaxBit() && total_open > 0;
+       ++r) {
+    for (auto& flags : observed_here) {
+      std::fill(flags.begin(), flags.end(), 0);
+    }
+    size_t open_observed = 0;
+    size_t open_now = total_open;
+
+    Status s = ProbeInterval(
+        origin_node, r, rng, &result.cost,
+        [&](uint64_t node) {
+          for (size_t mi = 0; mi < num_metrics; ++mi) {
+            const std::vector<int> vectors =
+                ProbeNodeForMetric(node, metric_ids[mi], r, &result.cost);
+            for (int v : vectors) {
+              if (v < m && result.observables[mi][v] < 0 &&
+                  !observed_here[mi][v]) {
+                observed_here[mi][v] = 1;
+                ++open_observed;
+              }
+            }
+          }
+        },
+        [&] { return open_observed == open_now; });
+    if (!s.ok()) return s;
+
+    // Open bitmaps with no set bit found at r: M = r.
+    for (size_t mi = 0; mi < num_metrics; ++mi) {
+      for (int v = 0; v < m; ++v) {
+        if (result.observables[mi][v] < 0 && !observed_here[mi][v]) {
+          result.observables[mi][v] = r;
+          --total_open;
+        }
+      }
+    }
+  }
+  // Bitmaps saturated through the last position.
+  for (auto& observed : result.observables) {
+    for (int& v : observed) {
+      if (v < 0) v = mapping_.MaxBit() + 1;
+    }
+  }
+  result.estimates.reserve(num_metrics);
+  for (const auto& observed : result.observables) {
+    result.estimates.push_back(PcsaEstimateFromM(observed));
+  }
+  return result;
+}
+
+}  // namespace dhs

@@ -1,0 +1,141 @@
+// The Distributed Hash Sketch client: insertion (§3.2), soft-state
+// refresh (§3.3), replication (§3.5) and the distributed counting
+// algorithm (§4, Alg. 1) for both DHS-PCSA and DHS-sLL.
+//
+// A DhsClient is a *protocol endpoint*, not a server: any overlay node can
+// act through it. All network effects go through the DhtNetwork, so
+// every hop and byte is accounted.
+
+#ifndef DHS_DHS_CLIENT_H_
+#define DHS_DHS_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dht/network.h"
+#include "dhs/config.h"
+#include "dhs/mapping.h"
+
+namespace dhs {
+
+/// Cost of one DHS operation, in the paper's metrics.
+struct DhsCostReport {
+  int nodes_visited = 0;   // distinct nodes probed for DHS state
+  int hops = 0;            // routing hops + one-hop retries
+  uint64_t bytes = 0;      // request + response payload bytes
+  int dht_lookups = 0;     // full O(log N) lookups issued
+  int direct_probes = 0;   // one-hop successor/predecessor retries
+
+  DhsCostReport& operator+=(const DhsCostReport& o) {
+    nodes_visited += o.nodes_visited;
+    hops += o.hops;
+    bytes += o.bytes;
+    dht_lookups += o.dht_lookups;
+    direct_probes += o.direct_probes;
+    return *this;
+  }
+};
+
+/// Result of a distributed count.
+struct DhsCountResult {
+  double estimate = 0.0;
+  /// Reconstructed per-bitmap observables M^<i> (semantics depend on the
+  /// estimator: leftmost zero for PCSA, max rho for sLL with -1 = none
+  /// found).
+  std::vector<int> observables;
+  DhsCostReport cost;
+};
+
+/// Decomposition of an item into its DHS coordinates.
+struct DhsPlacement {
+  int vector_id = 0;  // bitmap index in [0, m)
+  int rho = 0;        // bit position in [0, RhoBits()]
+};
+
+class DhsClient {
+ public:
+  /// The network must outlive the client. Call Validate()d configs only;
+  /// Create() checks for you.
+  static StatusOr<DhsClient> Create(DhtNetwork* network,
+                                    const DhsConfig& config);
+
+  const DhsConfig& config() const { return config_; }
+  const BitMapping& mapping() const { return mapping_; }
+
+  /// Splits an item hash into (vector_id, rho) using the k low-order bits
+  /// of the hash: vector = lsb_k(h) mod m, rho = rho(lsb_k(h) div m).
+  DhsPlacement PlaceItem(uint64_t item_hash) const;
+
+  /// Records one item under `metric_id`, starting from `origin_node`.
+  /// Duplicate-insensitive: re-inserting refreshes the soft-state TTL.
+  Status Insert(uint64_t origin_node, uint64_t metric_id, uint64_t item_hash,
+                Rng& rng);
+
+  /// Bulk insertion (§3.2): groups items by bit position and contacts one
+  /// random target per bit, so a node records any number of items with at
+  /// most k + 1 lookups per round.
+  Status InsertBatch(uint64_t origin_node, uint64_t metric_id,
+                     const std::vector<uint64_t>& item_hashes, Rng& rng);
+
+  /// Distributed count of `metric_id` from `origin_node` (Alg. 1).
+  StatusOr<DhsCountResult> Count(uint64_t origin_node, uint64_t metric_id,
+                                 Rng& rng);
+
+  /// Multi-dimension counting (§4.2): estimates all `metric_ids` in one
+  /// interval sweep. Hop-count cost is shared across metrics — the
+  /// defining DHS property used for histogram reconstruction.
+  struct MultiCountResult {
+    std::vector<double> estimates;             // parallel to metric_ids
+    std::vector<std::vector<int>> observables;  // parallel to metric_ids
+    DhsCostReport cost;                        // shared sweep cost
+  };
+  StatusOr<MultiCountResult> CountMany(uint64_t origin_node,
+                                       const std::vector<uint64_t>& metric_ids,
+                                       Rng& rng);
+
+ private:
+  DhsClient(DhtNetwork* network, const DhsConfig& config);
+
+  /// Stores one tuple at the node responsible for a random ID in bit r's
+  /// interval, plus `replication - 1` successor copies. The target key is
+  /// freshly randomized per call (load balancing).
+  Status StoreTuple(uint64_t origin_node, uint64_t metric_id, int bit,
+                    const std::vector<int>& vector_ids, Rng& rng,
+                    DhsCostReport* cost);
+
+  /// Probes the interval of bit r: up to config_.lim nodes starting from
+  /// a random in-interval target, walking successors then predecessors
+  /// (Alg. 1 lines 3-17). Calls visit(node_id) for each probed node and
+  /// lets the caller decide when the interval is exhausted via
+  /// `done()`. Returns the probe cost.
+  template <typename VisitFn, typename DoneFn>
+  Status ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
+                       DhsCostReport* cost, VisitFn&& visit, DoneFn&& done);
+
+  /// Reads the vectors present at `node` for (metric, bit) and charges
+  /// the response bytes. Returns the vector ids found.
+  std::vector<int> ProbeNodeForMetric(uint64_t node, uint64_t metric_id,
+                                      int bit, DhsCostReport* cost);
+
+  /// Probe budget for bit r: the flat config lim, or the eq. 6 value for
+  /// the interval's expected density when adaptive_lim is enabled.
+  int LimForBit(int bit) const;
+
+  StatusOr<MultiCountResult> CountManySll(
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+      Rng& rng);
+  StatusOr<MultiCountResult> CountManyPcsa(
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+      Rng& rng);
+
+  DhtNetwork* network_;
+  DhsConfig config_;
+  BitMapping mapping_;
+  int space_bits_cached_ = 64;  // L, for eq. 6 density computations
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHS_CLIENT_H_

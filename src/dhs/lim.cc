@@ -1,0 +1,54 @@
+#include "dhs/lim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dhs {
+
+double ProbAllProbesEmpty(uint64_t n_bins, uint64_t n_items, int t) {
+  assert(n_bins > 0);
+  if (n_items == 0) return 1.0;
+  if (t <= 0) return 1.0;
+  if (static_cast<uint64_t>(t) >= n_bins) return 0.0;
+  const double ratio =
+      static_cast<double>(n_bins - static_cast<uint64_t>(t)) /
+      static_cast<double>(n_bins);
+  return std::pow(ratio, static_cast<double>(n_items));
+}
+
+int RequiredProbes(uint64_t n_bins, uint64_t n_items, double p_miss) {
+  assert(n_bins > 0);
+  assert(p_miss > 0.0 && p_miss < 1.0);
+  if (n_items == 0) return static_cast<int>(n_bins);  // can never succeed
+  // t >= N' * (1 - p_miss^(1/n')): probing that many bins leaves the
+  // all-empty probability below p_miss (see lim.h on the paper's
+  // notation).
+  const double exponent = 1.0 / static_cast<double>(n_items);
+  const double t = static_cast<double>(n_bins) *
+                   (1.0 - std::pow(p_miss, exponent));
+  return std::max(1, static_cast<int>(std::ceil(t)));
+}
+
+int RequiredProbesReplicated(uint64_t n_bins, uint64_t n_items, int m,
+                             int replication, double p_miss) {
+  assert(n_bins > 0);
+  assert(m >= 1 && replication >= 1);
+  assert(p_miss > 0.0 && p_miss < 1.0);
+  if (n_items == 0) return static_cast<int>(n_bins);
+  const double alpha =
+      static_cast<double>(n_items) / static_cast<double>(n_bins);
+  const double exponent =
+      static_cast<double>(m) /
+      (static_cast<double>(replication) * alpha *
+       static_cast<double>(n_bins));
+  const double t = static_cast<double>(n_bins) *
+                   (1.0 - std::pow(p_miss, exponent));
+  return std::max(1, static_cast<int>(std::ceil(t)));
+}
+
+double HitProbability(uint64_t n_bins, uint64_t n_items, int lim) {
+  return 1.0 - ProbAllProbesEmpty(n_bins, n_items, lim);
+}
+
+}  // namespace dhs

@@ -1,0 +1,52 @@
+#include "dhs/maintainer.h"
+
+namespace dhs {
+
+void DhsMaintainer::RegisterItem(uint64_t node, uint64_t metric,
+                                 uint64_t item_hash) {
+  registry_[node][metric].insert(item_hash);
+}
+
+void DhsMaintainer::RegisterItems(uint64_t node, uint64_t metric,
+                                  const std::vector<uint64_t>& item_hashes) {
+  auto& items = registry_[node][metric];
+  items.insert(item_hashes.begin(), item_hashes.end());
+}
+
+void DhsMaintainer::UnregisterItem(uint64_t node, uint64_t metric,
+                                   uint64_t item_hash) {
+  auto node_it = registry_.find(node);
+  if (node_it == registry_.end()) return;
+  auto metric_it = node_it->second.find(metric);
+  if (metric_it == node_it->second.end()) return;
+  metric_it->second.erase(item_hash);
+  if (metric_it->second.empty()) node_it->second.erase(metric_it);
+  if (node_it->second.empty()) registry_.erase(node_it);
+}
+
+void DhsMaintainer::DropNode(uint64_t node) { registry_.erase(node); }
+
+StatusOr<size_t> DhsMaintainer::RefreshRound(Rng& rng) {
+  size_t rounds = 0;
+  std::vector<uint64_t> batch;
+  for (const auto& [node, metrics] : registry_) {
+    for (const auto& [metric, items] : metrics) {
+      batch.assign(items.begin(), items.end());
+      Status s = client_->InsertBatch(node, metric, batch, rng);
+      if (s.IsInvalidArgument()) continue;  // node left the overlay
+      if (!s.ok()) return s;
+      ++rounds;
+    }
+  }
+  return rounds;
+}
+
+size_t DhsMaintainer::NumRegistrations() const {
+  size_t total = 0;
+  for (const auto& [node, metrics] : registry_) {
+    for (const auto& [metric, items] : metrics) total += items.size();
+  }
+  return total;
+}
+
+}  // namespace dhs

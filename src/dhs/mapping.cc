@@ -1,0 +1,80 @@
+#include "dhs/mapping.h"
+
+#include <cassert>
+
+#include "common/bit_util.h"
+
+namespace dhs {
+
+BitMapping::BitMapping(const IdSpace& space, const DhsConfig& config)
+    : space_(space),
+      rho_bits_(config.RhoBits()),
+      shift_(config.shift_bits),
+      max_bit_(config.RhoBits()) {
+  assert(rho_bits_ >= 1);
+  assert(shift_ >= 0 && shift_ < rho_bits_);
+}
+
+StatusOr<IdInterval> BitMapping::IntervalForBit(int r) const {
+  if (r < shift_ || r > max_bit_) {
+    return Status::OutOfRange("bit position outside mapped range");
+  }
+  const int L = space_.bits();
+  const int idx = r - shift_;             // DHT interval index
+  const int num_plain = max_bit_ - shift_;  // non-saturation intervals
+  IdInterval interval;
+  if (idx < num_plain) {
+    // I_idx = [2^(L-idx-1), 2^(L-idx)).
+    interval.lo = uint64_t{1} << (L - idx - 1);
+    interval.size = interval.lo;
+    if (L - idx - 1 >= 64) {  // defensive; cannot happen for L <= 64
+      return Status::Internal("interval overflow");
+    }
+  } else {
+    // Saturation position: the residual interval [0, 2^(L - num_plain)).
+    interval.lo = 0;
+    interval.size = uint64_t{1} << (L - num_plain);
+  }
+  return interval;
+}
+
+uint64_t BitMapping::RandomIdIn(const IdInterval& interval, Rng& rng) const {
+  assert(interval.size > 0);
+  return interval.lo + rng.UniformU64(interval.size);
+}
+
+int BitMapping::BitForId(uint64_t id) const {
+  id = space_.Clamp(id);
+  const int L = space_.bits();
+  const int num_plain = max_bit_ - shift_;
+  if (id == 0) return max_bit_;
+  const int idx = L - 1 - Log2Floor(id);
+  if (idx >= num_plain) return max_bit_;
+  return idx + shift_;
+}
+
+std::string MakeDhsKey(uint64_t metric_id, int bit, int vector_id) {
+  std::string key = MakeDhsPrefix(metric_id, bit);
+  key.push_back(static_cast<char>((vector_id >> 8) & 0xff));
+  key.push_back(static_cast<char>(vector_id & 0xff));
+  return key;
+}
+
+std::string MakeDhsPrefix(uint64_t metric_id, int bit) {
+  std::string key;
+  key.reserve(12);
+  key.push_back('D');
+  for (int i = 7; i >= 0; --i) {
+    key.push_back(static_cast<char>((metric_id >> (8 * i)) & 0xff));
+  }
+  key.push_back(static_cast<char>(bit & 0xff));
+  return key;
+}
+
+int VectorIdFromDhsKey(const std::string& key) {
+  if (key.size() < 12) return -1;
+  return (static_cast<uint8_t>(key[10]) << 8) |
+         static_cast<uint8_t>(key[11]);
+}
+
+}  // namespace dhs

@@ -1,0 +1,67 @@
+// Mapping of DHS bit positions to DHT ID-space intervals (§3.1).
+//
+// The node-ID space [0, 2^L) is partitioned into consecutive intervals
+// I_r = [thr(r), thr(r-1)) with thr(r) = 2^(L-r-1), so |I_r| = 2^(L-r-1):
+// bit r of the bitmap, which receives n * 2^-(r+1) of the items, maps to
+// an interval holding an expected N * 2^-(r+1) of the nodes. The expected
+// per-node load is therefore uniform — the paper's central load-balancing
+// property. The residual interval [0, thr(k_eff - 1)) absorbs the
+// rho-saturation position ("bit k").
+//
+// With the §3.5 bit-shift rule (shift_bits = b > 0) the i-th interval is
+// assigned to the (i + b)-th bit, trading the ability to measure
+// cardinalities below 2^b for more nodes per bit.
+
+#ifndef DHS_DHS_MAPPING_H_
+#define DHS_DHS_MAPPING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dht/node_id.h"
+#include "dhs/config.h"
+
+namespace dhs {
+
+/// Resolves bit positions to intervals (dht/node_id.h::IdInterval) for
+/// one (IdSpace, DhsConfig) pair.
+class BitMapping {
+ public:
+  BitMapping(const IdSpace& space, const DhsConfig& config);
+
+  /// Number of distinct bit positions handled: rho values in
+  /// [shift_bits, rho_bits] inclusive.
+  int MinBit() const { return shift_; }
+  int MaxBit() const { return max_bit_; }
+
+  /// Interval for bit position r (r in [MinBit(), MaxBit()]).
+  StatusOr<IdInterval> IntervalForBit(int r) const;
+
+  /// Uniformly random ID within the interval.
+  uint64_t RandomIdIn(const IdInterval& interval, Rng& rng) const;
+
+  /// The bit position whose interval contains `id`, or -1 if `id` falls
+  /// outside every mapped interval (cannot happen when shift_bits == 0).
+  int BitForId(uint64_t id) const;
+
+ private:
+  IdSpace space_;
+  int rho_bits_;  // config.RhoBits()
+  int shift_;     // config.shift_bits
+  int max_bit_;   // rho_bits_ (the saturation position)
+};
+
+/// Storage-key layout for DHS tuples. Keys are ordered so that one prefix
+/// scan retrieves every vector stored at a node for a given (metric, bit):
+///   'D' | metric_id (8B BE) | bit (1B) | vector_id (2B BE)
+std::string MakeDhsKey(uint64_t metric_id, int bit, int vector_id);
+std::string MakeDhsPrefix(uint64_t metric_id, int bit);
+
+/// Inverse of MakeDhsKey for the vector_id component.
+int VectorIdFromDhsKey(const std::string& key);
+
+}  // namespace dhs
+
+#endif  // DHS_DHS_MAPPING_H_

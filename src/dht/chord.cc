@@ -1,0 +1,59 @@
+#include "dht/chord.h"
+
+#include <cassert>
+
+namespace dhs {
+
+StatusOr<uint64_t> ChordNetwork::ResponsibleNode(uint64_t key) const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
+  return RingSuccessor(key)->first;
+}
+
+void ChordNetwork::MigrateOnJoin(uint64_t new_node_id) {
+  // The new node takes over keys in (predecessor, new_node_id] from its
+  // successor.
+  auto pred = PredecessorOfNode(new_node_id);
+  auto succ = SuccessorOfNode(new_node_id);
+  assert(pred.ok() && succ.ok());
+  const uint64_t pred_id = pred.value();
+  NodeStore* joiner_store = StoreAt(new_node_id);
+  StoreAt(succ.value())
+      ->MigrateIf(
+          [&](uint64_t dht_key) {
+            return space_.InIntervalExclIncl(dht_key, pred_id, new_node_id);
+          },
+          *joiner_store);
+}
+
+std::vector<uint64_t> ChordNetwork::ProbeCandidates(
+    const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
+    int max_candidates) const {
+  (void)probe_key;  // ring candidates do not depend on the probed key
+  std::vector<uint64_t> candidates;
+  if (max_candidates <= 0 || nodes_.empty()) return candidates;
+
+  // Successor direction: walk while the previous node is still inside
+  // the interval (one node beyond it owns the interval's top keys).
+  uint64_t frontier = start_node;
+  while (static_cast<int>(candidates.size()) < max_candidates &&
+         interval.Contains(frontier)) {
+    auto succ = SuccessorOfNode(frontier);
+    if (!succ.ok() || succ.value() == start_node) break;  // wrapped
+    frontier = succ.value();
+    candidates.push_back(frontier);
+  }
+  // Predecessor direction from the start node, staying inside.
+  uint64_t pred_frontier = start_node;
+  while (static_cast<int>(candidates.size()) < max_candidates) {
+    auto pred = PredecessorOfNode(pred_frontier);
+    if (!pred.ok() || pred.value() == frontier ||
+        pred.value() == start_node || !interval.Contains(pred.value())) {
+      break;
+    }
+    pred_frontier = pred.value();
+    candidates.push_back(pred_frontier);
+  }
+  return candidates;
+}
+
+}  // namespace dhs

@@ -1,0 +1,45 @@
+// Chord-like overlay (Stoica et al., SIGCOMM '01): ring geometry.
+//
+// Responsibility: successor(key) — the first live node clockwise from
+// the key. Routing: greedy closest-preceding-finger, with finger i of
+// node n resolved as successor(n + 2^i) against the (converged) global
+// ring. Candidate holders of a prefix-aligned interval are its member
+// nodes plus the first node past its top (which owns the interval's
+// highest keys), probed successors-first then predecessors — exactly
+// the walk of the paper's Alg. 1.
+
+#ifndef DHS_DHT_CHORD_H_
+#define DHS_DHT_CHORD_H_
+
+#include <vector>
+
+#include "dht/network.h"
+
+namespace dhs {
+
+class ChordNetwork : public DhtNetwork {
+ public:
+  explicit ChordNetwork(const OverlayConfig& config = OverlayConfig())
+      : DhtNetwork(config) {}
+
+  const char* GeometryName() const override { return "chord"; }
+
+  /// Chord responsibility: key k belongs to successor(k).
+  StatusOr<uint64_t> ResponsibleNode(uint64_t key) const override;
+
+  std::vector<uint64_t> ProbeCandidates(const IdInterval& interval,
+                                        uint64_t probe_key,
+                                        uint64_t start_node,
+                                        int max_candidates) const override;
+
+ protected:
+  uint64_t NextHop(uint64_t current, uint64_t key) const override;
+
+  /// Chord-targeted join migration: only the joiner's successor can lose
+  /// keys (those in (predecessor, joiner]).
+  void MigrateOnJoin(uint64_t new_node_id) override;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHT_CHORD_H_

@@ -1,0 +1,134 @@
+#include "dht/kademlia.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bit_util.h"
+
+namespace dhs {
+
+bool KademliaNetwork::BlockNonEmpty(uint64_t lo, uint64_t size) const {
+  auto it = nodes_.lower_bound(lo);
+  return it != nodes_.end() && it->first - lo < size;
+}
+
+uint64_t KademliaNetwork::ClosestWithin(uint64_t lo, uint64_t size,
+                                        uint64_t key) const {
+  assert(size > 0 && IsPowerOfTwo(size));
+  assert(BlockNonEmpty(lo, size));
+  int level = Log2Floor(size);
+  while (level > 0) {
+    const uint64_t child_size = uint64_t{1} << (level - 1);
+    // Prefer the half the key falls into (it minimizes the XOR bit at
+    // this level); fall back to the sibling if it holds no node.
+    const uint64_t key_half =
+        lo + ((key & child_size) != 0 ? child_size : 0);
+    const uint64_t other_half = key_half == lo ? lo + child_size : lo;
+    lo = BlockNonEmpty(key_half, child_size) ? key_half : other_half;
+    level -= 1;
+  }
+  return lo;
+}
+
+StatusOr<uint64_t> KademliaNetwork::ResponsibleNode(uint64_t key) const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
+  key = space_.Clamp(key);
+  const int L = space_.bits();
+  // Split the full space manually (2^64 does not fit in uint64_t).
+  const uint64_t half_size = uint64_t{1} << (L - 1);
+  const uint64_t key_half = (key & half_size) != 0 ? half_size : 0;
+  const uint64_t other_half = key_half == 0 ? half_size : 0;
+  const uint64_t lo =
+      BlockNonEmpty(key_half, half_size) ? key_half : other_half;
+  return ClosestWithin(lo, half_size, key);
+}
+
+uint64_t KademliaNetwork::NextHop(uint64_t current, uint64_t key) const {
+  auto closest = ResponsibleNode(key);
+  assert(closest.ok());
+  if (current == closest.value()) return current;
+
+  // Jump to a node sharing a strictly longer prefix with the key: a
+  // member of the key's aligned block at the level of the current
+  // highest differing bit. A real node's k-bucket holds a few
+  // *arbitrary* contacts of that block, not the one closest to the key,
+  // so we model the contact as the block member XOR-closest to `current`
+  // — its deeper bits are uncorrelated with the key's, giving the
+  // classic one-bit-per-hop O(log N) routing.
+  const int b = Log2Floor(current ^ key);
+  const uint64_t block_size = uint64_t{1} << b;
+  const uint64_t block_lo = key & ~(block_size - 1);
+  if (BlockNonEmpty(block_lo, block_size)) {
+    return ClosestWithin(block_lo, block_size, current);
+  }
+  return closest.value();
+}
+
+std::vector<uint64_t> KademliaNetwork::ProbeCandidates(
+    const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
+    int max_candidates) const {
+  std::vector<uint64_t> candidates;
+  if (max_candidates <= 0 || nodes_.empty()) return candidates;
+
+  // Under XOR responsibility, the keys of an interval are held by the
+  // nodes of the smallest non-empty aligned block enclosing it (if the
+  // interval itself has nodes, they hold everything).
+  uint64_t lo = interval.lo;
+  uint64_t size = interval.size;
+  bool whole_space = false;
+  while (!BlockNonEmpty(lo, size)) {
+    const uint64_t parent_size = size << 1;
+    if (parent_size == 0 ||
+        (space_.bits() < 64 && parent_size > space_.Mask() + 1)) {
+      whole_space = true;
+      break;
+    }
+    size = parent_size;
+    lo &= ~(size - 1);
+  }
+
+  // Gather a window of block members numerically around the probe key
+  // (cheap approximation of XOR order for same-block nodes), then rank
+  // by true XOR distance.
+  const uint64_t block_lo = whole_space ? 0 : lo;
+  const uint64_t block_hi_excl =
+      whole_space ? space_.Mask() : lo + (size - 1);  // inclusive top
+  const size_t window = static_cast<size_t>(max_candidates) * 4 + 8;
+  std::vector<uint64_t> members;
+  auto fwd = nodes_.lower_bound(probe_key);
+  auto bwd = fwd;
+  while (members.size() < window) {
+    bool advanced = false;
+    if (fwd != nodes_.end() && fwd->first >= block_lo &&
+        fwd->first <= block_hi_excl) {
+      members.push_back(fwd->first);
+      ++fwd;
+      advanced = true;
+    }
+    if (bwd != nodes_.begin()) {
+      auto prev = std::prev(bwd);
+      if (prev->first >= block_lo && prev->first <= block_hi_excl) {
+        members.push_back(prev->first);
+        bwd = prev;
+        advanced = true;
+      } else {
+        bwd = nodes_.begin();  // exhausted downward
+      }
+    }
+    if (!advanced) break;
+  }
+
+  std::sort(members.begin(), members.end(),
+            [probe_key](uint64_t a, uint64_t b) {
+              return (a ^ probe_key) < (b ^ probe_key);
+            });
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  for (uint64_t node : members) {
+    if (node == start_node) continue;
+    candidates.push_back(node);
+    if (static_cast<int>(candidates.size()) >= max_candidates) break;
+  }
+  return candidates;
+}
+
+}  // namespace dhs

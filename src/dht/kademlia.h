@@ -1,0 +1,55 @@
+// Kademlia-like overlay (Maymounkov & Mazieres, IPTPS '02): XOR
+// geometry.
+//
+// Responsibility: the live node minimizing XOR(node, key). Routing: at
+// each step the query jumps to a node sharing a strictly longer ID
+// prefix with the key (the converged-k-bucket idealization), giving
+// O(log N) hops. Candidate holders of a prefix-aligned interval are the
+// nodes of the smallest non-empty aligned block enclosing it, ordered by
+// XOR distance to the probed key — because under XOR responsibility the
+// keys of an empty block scatter over that enclosing block rather than
+// onto a single ring successor.
+//
+// DHS runs unchanged on top of this network (the paper's DHT-agnostic
+// claim, §1): the thr() intervals are prefix-aligned blocks, meaningful
+// in both geometries.
+
+#ifndef DHS_DHT_KADEMLIA_H_
+#define DHS_DHT_KADEMLIA_H_
+
+#include <vector>
+
+#include "dht/network.h"
+
+namespace dhs {
+
+class KademliaNetwork : public DhtNetwork {
+ public:
+  explicit KademliaNetwork(const OverlayConfig& config = OverlayConfig())
+      : DhtNetwork(config) {}
+
+  const char* GeometryName() const override { return "kademlia"; }
+
+  /// XOR responsibility: argmin over live nodes of node ^ key.
+  StatusOr<uint64_t> ResponsibleNode(uint64_t key) const override;
+
+  std::vector<uint64_t> ProbeCandidates(const IdInterval& interval,
+                                        uint64_t probe_key,
+                                        uint64_t start_node,
+                                        int max_candidates) const override;
+
+ protected:
+  uint64_t NextHop(uint64_t current, uint64_t key) const override;
+
+ private:
+  /// True iff a live node exists in [lo, lo + size).
+  bool BlockNonEmpty(uint64_t lo, uint64_t size) const;
+
+  /// XOR-closest node to `key` within the non-empty aligned block
+  /// [lo, lo + size). Preconditions: block non-empty.
+  uint64_t ClosestWithin(uint64_t lo, uint64_t size, uint64_t key) const;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHT_KADEMLIA_H_

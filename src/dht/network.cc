@@ -1,0 +1,244 @@
+#include "dht/network.h"
+
+#include <cassert>
+
+namespace dhs {
+
+DhtNetwork::DhtNetwork(const OverlayConfig& config)
+    : config_(config),
+      space_(config.id_bits),
+      name_hasher_(MakeHasher(config.hasher)) {
+  if (name_hasher_ == nullptr) {
+    name_hasher_ = MakeHasher("md4");
+  }
+}
+
+Status DhtNetwork::AddNode(uint64_t node_id) {
+  node_id = space_.Clamp(node_id);
+  if (nodes_.count(node_id) > 0) {
+    return Status::InvalidArgument("node id already present");
+  }
+  nodes_.emplace(node_id, Node{});
+  if (nodes_.size() > 1) {
+    MigrateOnJoin(node_id);
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> DhtNetwork::AddNodeFromName(std::string_view name) {
+  const uint64_t id = space_.Clamp(name_hasher_->Hash(name));
+  Status s = AddNode(id);
+  if (!s.ok()) return s;
+  return id;
+}
+
+void DhtNetwork::MigrateOnJoin(uint64_t new_node_id) {
+  // Generic, always-correct re-homing: move every record whose
+  // responsible node is now the joiner. O(total records); geometries
+  // with cheap locality (Chord) override this.
+  Node& joiner = nodes_.at(new_node_id);
+  for (auto& [id, node] : nodes_) {
+    if (id == new_node_id) continue;
+    node.store.MigrateIf(
+        [&](uint64_t dht_key) {
+          auto responsible = ResponsibleNode(dht_key);
+          return responsible.ok() && responsible.value() == new_node_id;
+        },
+        joiner.store);
+  }
+}
+
+Status DhtNetwork::RemoveNode(uint64_t node_id) {
+  auto it = nodes_.find(space_.Clamp(node_id));
+  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  // Graceful leave: re-home each live record at its new responsible node
+  // (for Chord that is always the successor; for Kademlia records may
+  // scatter over several neighbours).
+  std::map<std::string, StoreRecord> pending;
+  it->second.store.ForEachWithPrefix(
+      "", now_, [&pending](const std::string& key, const StoreRecord& rec) {
+        pending[key] = rec;
+      });
+  nodes_.erase(it);
+  for (const auto& [key, rec] : pending) {
+    auto responsible = ResponsibleNode(rec.dht_key);
+    if (responsible.ok()) {
+      nodes_.at(responsible.value())
+          .store.Put(rec.dht_key, key, rec.value, rec.expires_at);
+    }
+  }
+  return Status::OK();
+}
+
+Status DhtNetwork::FailNode(uint64_t node_id) {
+  auto it = nodes_.find(space_.Clamp(node_id));
+  if (it == nodes_.end()) return Status::NotFound("unknown node");
+  nodes_.erase(it);  // records vanish with the node
+  return Status::OK();
+}
+
+std::vector<uint64_t> DhtNetwork::NodeIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t DhtNetwork::RandomNode(Rng& rng) const {
+  assert(!nodes_.empty());
+  const size_t index = rng.UniformU64(nodes_.size());
+  auto it = nodes_.begin();
+  std::advance(it, static_cast<long>(index));
+  return it->first;
+}
+
+DhtNetwork::NodeMap::const_iterator DhtNetwork::RingSuccessor(
+    uint64_t key) const {
+  auto it = nodes_.lower_bound(space_.Clamp(key));
+  if (it == nodes_.end()) it = nodes_.begin();
+  return it;
+}
+
+DhtNetwork::NodeMap::iterator DhtNetwork::RingSuccessor(uint64_t key) {
+  auto it = nodes_.lower_bound(space_.Clamp(key));
+  if (it == nodes_.end()) it = nodes_.begin();
+  return it;
+}
+
+StatusOr<uint64_t> DhtNetwork::SuccessorOfNode(uint64_t node_id) const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
+  auto it = nodes_.upper_bound(space_.Clamp(node_id));
+  if (it == nodes_.end()) it = nodes_.begin();
+  return it->first;
+}
+
+StatusOr<uint64_t> DhtNetwork::PredecessorOfNode(uint64_t node_id) const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
+  auto it = nodes_.lower_bound(space_.Clamp(node_id));
+  if (it == nodes_.begin()) it = nodes_.end();
+  --it;
+  return it->first;
+}
+
+size_t DhtNetwork::CountNodesInRange(uint64_t lo, uint64_t hi) const {
+  lo = space_.Clamp(lo);
+  hi = space_.Clamp(hi);
+  if (lo == hi) return 0;
+  if (lo < hi) {
+    return static_cast<size_t>(std::distance(nodes_.lower_bound(lo),
+                                             nodes_.lower_bound(hi)));
+  }
+  return static_cast<size_t>(
+             std::distance(nodes_.lower_bound(lo), nodes_.end())) +
+         static_cast<size_t>(
+             std::distance(nodes_.begin(), nodes_.lower_bound(hi)));
+}
+
+StatusOr<LookupResult> DhtNetwork::Lookup(uint64_t from_node, uint64_t key,
+                                          size_t payload_bytes) {
+  from_node = space_.Clamp(from_node);
+  key = space_.Clamp(key);
+  auto from_it = nodes_.find(from_node);
+  if (from_it == nodes_.end()) {
+    return Status::InvalidArgument("lookup origin is not a live node");
+  }
+
+  LookupResult result;
+  uint64_t current = from_node;
+  stats_.messages += 1;
+  for (int step = 0; step <= config_.max_route_hops; ++step) {
+    const uint64_t next = NextHop(current, key);
+    if (next == current) {
+      result.node = current;
+      nodes_.at(current).load.served += 1;
+      return result;
+    }
+    nodes_.at(current).load.routed += 1;
+    current = next;
+    result.hops += 1;
+    stats_.hops += 1;
+    stats_.bytes += payload_bytes;
+  }
+  return Status::Internal("routing did not converge (cycle?)");
+}
+
+Status DhtNetwork::DirectHop(uint64_t from_node, uint64_t to_node,
+                             size_t payload_bytes) {
+  from_node = space_.Clamp(from_node);
+  to_node = space_.Clamp(to_node);
+  if (nodes_.count(from_node) == 0 || nodes_.count(to_node) == 0) {
+    return Status::InvalidArgument("direct hop between unknown nodes");
+  }
+  stats_.messages += 1;
+  if (from_node != to_node) {
+    stats_.hops += 1;
+    stats_.bytes += payload_bytes;
+    nodes_.at(to_node).load.served += 1;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> DhtNetwork::Put(uint64_t from_node, uint64_t dht_key,
+                                   const std::string& app_key,
+                                   std::string value, uint64_t ttl_ticks) {
+  const size_t payload = app_key.size() + value.size();
+  auto lookup = Lookup(from_node, dht_key, payload);
+  if (!lookup.ok()) return lookup.status();
+  const uint64_t target = lookup->node;
+  Node& node = nodes_.at(target);
+  node.load.stores += 1;
+  const uint64_t expires =
+      ttl_ticks == kNoExpiry ? kNoExpiry : now_ + ttl_ticks;
+  node.store.Put(dht_key, app_key, std::move(value), expires);
+  return target;
+}
+
+StatusOr<std::string> DhtNetwork::GetValue(uint64_t from_node,
+                                           uint64_t dht_key,
+                                           const std::string& app_key) {
+  auto lookup = Lookup(from_node, dht_key, app_key.size());
+  if (!lookup.ok()) return lookup.status();
+  Node& node = nodes_.at(lookup->node);
+  const StoreRecord* rec = node.store.Get(app_key, now_);
+  if (rec == nullptr) return Status::NotFound("no live record");
+  return rec->value;
+}
+
+NodeStore* DhtNetwork::StoreAt(uint64_t node_id) {
+  auto it = nodes_.find(space_.Clamp(node_id));
+  return it == nodes_.end() ? nullptr : &it->second.store;
+}
+
+const NodeStore* DhtNetwork::StoreAt(uint64_t node_id) const {
+  auto it = nodes_.find(space_.Clamp(node_id));
+  return it == nodes_.end() ? nullptr : &it->second.store;
+}
+
+NodeLoad* DhtNetwork::LoadAt(uint64_t node_id) {
+  auto it = nodes_.find(space_.Clamp(node_id));
+  return it == nodes_.end() ? nullptr : &it->second.load;
+}
+
+std::vector<std::pair<uint64_t, NodeLoad>> DhtNetwork::Loads() const {
+  std::vector<std::pair<uint64_t, NodeLoad>> result;
+  result.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) result.emplace_back(id, node.load);
+  return result;
+}
+
+void DhtNetwork::ResetLoads() {
+  for (auto& [id, node] : nodes_) node.load = NodeLoad{};
+}
+
+void DhtNetwork::AdvanceClock(uint64_t ticks) {
+  now_ += ticks;
+  for (auto& [id, node] : nodes_) node.store.ExpireUntil(now_);
+}
+
+size_t DhtNetwork::TotalStorageBytes() const {
+  size_t total = 0;
+  for (const auto& [id, node] : nodes_) total += node.store.SizeBytes();
+  return total;
+}
+
+}  // namespace dhs

@@ -1,0 +1,205 @@
+// Abstract DHT overlay simulator.
+//
+// The paper's design is DHT-agnostic (§1: "can be deployed over any
+// peer-to-peer overlay conforming to the DHT abstraction"). DhtNetwork
+// captures exactly that abstraction plus the simulation bookkeeping:
+// membership, per-node soft-state stores and load counters, a virtual
+// clock, and message-level cost accounting. Geometry-specific behaviour
+// — who is responsible for a key, how requests route, and which nodes
+// are candidate holders for an interval's keys — is virtual:
+//
+//   * ChordNetwork    (dht/chord.h)    — ring geometry, successor
+//     responsibility, greedy finger routing;
+//   * KademliaNetwork (dht/kademlia.h) — XOR geometry, closest-node
+//     responsibility, prefix-improving routing.
+//
+// The simulator models a *converged* overlay: routing state is resolved
+// against the global membership map, which matches the paper's
+// evaluation setting. It is single-threaded and deterministic.
+
+#ifndef DHS_DHT_NETWORK_H_
+#define DHS_DHT_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dht/node_id.h"
+#include "dht/stats.h"
+#include "dht/store.h"
+#include "hashing/hasher.h"
+
+namespace dhs {
+
+/// Overlay construction parameters (shared by all geometries).
+struct OverlayConfig {
+  /// ID-space width L in bits (8..64). The paper's evaluation uses 64.
+  int id_bits = 64;
+
+  /// Node-ID derivation for AddNodeFromName: "md4" (the paper) or "mix".
+  std::string hasher = "md4";
+
+  /// Safety cap on routing path length (a converged overlay never gets
+  /// close to this; it guards against bugs).
+  int max_route_hops = 256;
+};
+
+/// Backwards-compatible alias: the Chord overlay was the first
+/// implementation and most call sites configure it under this name.
+using ChordConfig = OverlayConfig;
+
+/// Outcome of a routed lookup.
+struct LookupResult {
+  uint64_t node = 0;  // live node responsible for the key
+  int hops = 0;       // inter-node hops taken (0 if origin is responsible)
+};
+
+/// The simulated overlay network. Owns all node state.
+class DhtNetwork {
+ public:
+  explicit DhtNetwork(const OverlayConfig& config = OverlayConfig());
+  virtual ~DhtNetwork() = default;
+
+  DhtNetwork(const DhtNetwork&) = delete;
+  DhtNetwork& operator=(const DhtNetwork&) = delete;
+
+  const IdSpace& space() const { return space_; }
+  const OverlayConfig& config() const { return config_; }
+
+  /// Human-readable geometry name ("chord", "kademlia").
+  virtual const char* GeometryName() const = 0;
+
+  // ---- Membership -------------------------------------------------------
+
+  /// Adds a node with an explicit ID and hands over the keys it becomes
+  /// responsible for. Fails if the ID is taken.
+  Status AddNode(uint64_t node_id);
+
+  /// Adds a node whose ID is hash(name) (the paper: MD4 of address/port).
+  StatusOr<uint64_t> AddNodeFromName(std::string_view name);
+
+  /// Graceful leave: the node's records migrate to whichever nodes are
+  /// now responsible for their keys.
+  Status RemoveNode(uint64_t node_id);
+
+  /// Abrupt failure: the node vanishes and its records are lost (§3.5).
+  Status FailNode(uint64_t node_id);
+
+  bool Contains(uint64_t node_id) const { return nodes_.count(node_id) > 0; }
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// All live node IDs in ascending order.
+  std::vector<uint64_t> NodeIds() const;
+
+  /// Uniformly random live node. Requires a non-empty network.
+  uint64_t RandomNode(Rng& rng) const;
+
+  // ---- Geometry (no message cost) ----------------------------------------
+
+  /// The live node responsible for `key` under this geometry.
+  virtual StatusOr<uint64_t> ResponsibleNode(uint64_t key) const = 0;
+
+  /// The live node numerically after/before `node_id` (wrapping). Both
+  /// geometries expose numeric neighbours: Chord's successor pointers,
+  /// Kademlia's deepest k-bucket.
+  StatusOr<uint64_t> SuccessorOfNode(uint64_t node_id) const;
+  StatusOr<uint64_t> PredecessorOfNode(uint64_t node_id) const;
+
+  /// Number of live nodes with ID in the ring range [lo, hi) (§4.1).
+  size_t CountNodesInRange(uint64_t lo, uint64_t hi) const;
+
+  /// Candidate holders (beyond `start_node`) for keys of the
+  /// prefix-aligned interval, in the order a counting walk should probe
+  /// them; at most `max_candidates` entries. `probe_key` is the key the
+  /// walk routed to (`start_node` is its responsible node).
+  virtual std::vector<uint64_t> ProbeCandidates(const IdInterval& interval,
+                                                uint64_t probe_key,
+                                                uint64_t start_node,
+                                                int max_candidates) const = 0;
+
+  // ---- Routed operations (charged to stats) ------------------------------
+
+  /// Routes from `from_node` to the responsible node of `key`; charges
+  /// hops and `payload_bytes` per hop.
+  StatusOr<LookupResult> Lookup(uint64_t from_node, uint64_t key,
+                                size_t payload_bytes = 0);
+
+  /// Charges a direct one-hop message between two live nodes.
+  Status DirectHop(uint64_t from_node, uint64_t to_node,
+                   size_t payload_bytes = 0);
+
+  /// Full insert primitive: Lookup(dht_key) then store at the
+  /// responsible node. Returns the storing node.
+  StatusOr<uint64_t> Put(uint64_t from_node, uint64_t dht_key,
+                         const std::string& app_key, std::string value,
+                         uint64_t ttl_ticks);
+
+  /// Full lookup primitive; NotFound if the key has no live record.
+  StatusOr<std::string> GetValue(uint64_t from_node, uint64_t dht_key,
+                                 const std::string& app_key);
+
+  // ---- Direct state access (simulator-level, uncharged) ------------------
+
+  NodeStore* StoreAt(uint64_t node_id);
+  const NodeStore* StoreAt(uint64_t node_id) const;
+  NodeLoad* LoadAt(uint64_t node_id);
+
+  std::vector<std::pair<uint64_t, NodeLoad>> Loads() const;
+  void ResetLoads();
+
+  // ---- Virtual clock ------------------------------------------------------
+
+  uint64_t now() const { return now_; }
+
+  /// Advances the clock and expires soft-state records network-wide.
+  void AdvanceClock(uint64_t ticks);
+
+  // ---- Cost accounting ----------------------------------------------------
+
+  const MessageStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Clear(); }
+
+  /// Charges application-level response bytes (direct return path; no
+  /// hop, matching the paper's request-routing hop metric).
+  void ChargeBytes(size_t bytes) { stats_.bytes += bytes; }
+
+  /// Total storage bytes over all nodes.
+  size_t TotalStorageBytes() const;
+
+ protected:
+  struct Node {
+    NodeStore store;
+    NodeLoad load;
+  };
+  using NodeMap = std::map<uint64_t, Node>;
+
+  /// Geometry-specific greedy next hop toward `key`; returns `current`
+  /// when `current` is responsible.
+  virtual uint64_t NextHop(uint64_t current, uint64_t key) const = 0;
+
+  /// Re-homes records after `node_id` joined. The default scans every
+  /// node and moves records whose responsible node changed — always
+  /// correct, O(total records). Geometries may override with a targeted
+  /// version (Chord: only the successor can lose keys).
+  virtual void MigrateOnJoin(uint64_t new_node_id);
+
+  /// First live node with ID >= key, wrapping.
+  NodeMap::const_iterator RingSuccessor(uint64_t key) const;
+  NodeMap::iterator RingSuccessor(uint64_t key);
+
+  OverlayConfig config_;
+  IdSpace space_;
+  std::unique_ptr<UniformHasher> name_hasher_;
+  NodeMap nodes_;
+  MessageStats stats_;
+  uint64_t now_ = 0;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHT_NETWORK_H_

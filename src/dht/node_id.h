@@ -1,0 +1,70 @@
+// L-bit circular identifier-space arithmetic for the Chord-like overlay.
+//
+// IDs live in [0, 2^L) for a configurable L <= 64 (the paper's evaluation
+// uses L = 64), stored in uint64_t. All interval logic is ring-aware:
+// an interval may wrap around zero.
+
+#ifndef DHS_DHT_NODE_ID_H_
+#define DHS_DHT_NODE_ID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dhs {
+
+/// One ID-space interval [lo, lo + size); size is a power of two and the
+/// interval never wraps (lo + size <= 2^L, where == means the top of the
+/// space). DHS bit positions map to such intervals; they are always
+/// prefix-aligned blocks, which makes them meaningful under both ring
+/// (Chord) and XOR (Kademlia) geometries.
+struct IdInterval {
+  uint64_t lo = 0;
+  uint64_t size = 0;
+
+  /// Inclusive-lo / exclusive-hi membership.
+  bool Contains(uint64_t id) const { return id - lo < size; }
+};
+
+/// Value-type describing an L-bit circular ID space.
+class IdSpace {
+ public:
+  /// `bits` in [8, 64].
+  explicit IdSpace(int bits = 64);
+
+  int bits() const { return bits_; }
+
+  /// All-ones mask, i.e. 2^L - 1.
+  uint64_t Mask() const { return mask_; }
+
+  /// x reduced into the ID space (x mod 2^L).
+  uint64_t Clamp(uint64_t x) const { return x & mask_; }
+
+  /// Clockwise distance from a to b: (b - a) mod 2^L.
+  uint64_t Distance(uint64_t a, uint64_t b) const {
+    return (b - a) & mask_;
+  }
+
+  /// a + delta on the ring.
+  uint64_t Add(uint64_t a, uint64_t delta) const {
+    return (a + delta) & mask_;
+  }
+
+  /// True iff x lies in the half-open ring interval (a, b]. By Chord
+  /// convention, node successor(k) is responsible for k when
+  /// k in (predecessor, successor].
+  bool InIntervalExclIncl(uint64_t x, uint64_t a, uint64_t b) const;
+
+  /// True iff x lies in the open ring interval (a, b).
+  bool InIntervalExclExcl(uint64_t x, uint64_t a, uint64_t b) const;
+
+  /// Hex rendering, zero-padded to ceil(bits/4) digits.
+  std::string ToString(uint64_t id) const;
+
+ private:
+  int bits_;
+  uint64_t mask_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHT_NODE_ID_H_

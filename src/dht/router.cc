@@ -1,0 +1,35 @@
+// Greedy Chord finger routing.
+
+#include <cassert>
+
+#include "common/bit_util.h"
+#include "dht/chord.h"
+
+namespace dhs {
+
+uint64_t ChordNetwork::NextHop(uint64_t current, uint64_t key) const {
+  // Responsible already? Chord: `current` is responsible for key when
+  // key in (predecessor(current), current].
+  auto pred = PredecessorOfNode(current);
+  assert(pred.ok());
+  if (space_.InIntervalExclIncl(key, pred.value(), current)) {
+    return current;
+  }
+
+  // Closest preceding finger: the farthest finger that lands strictly
+  // between current and key. Finger i points at successor(current + 2^i).
+  const uint64_t dist = space_.Distance(current, key);
+  for (int i = dist > 1 ? Log2Floor(dist) : 0; i >= 0; --i) {
+    const uint64_t finger_start = space_.Add(current, uint64_t{1} << i);
+    const uint64_t finger = RingSuccessor(finger_start)->first;
+    if (space_.InIntervalExclExcl(finger, current, key)) {
+      return finger;
+    }
+  }
+  // No finger strictly precedes the key: the successor is responsible.
+  auto succ = SuccessorOfNode(current);
+  assert(succ.ok());
+  return succ.value();
+}
+
+}  // namespace dhs

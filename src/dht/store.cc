@@ -1,0 +1,55 @@
+#include "dht/store.h"
+
+namespace dhs {
+
+void NodeStore::Put(uint64_t dht_key, const std::string& app_key,
+                    std::string value, uint64_t expires_at) {
+  StoreRecord& rec = records_[app_key];
+  rec.dht_key = dht_key;
+  rec.value = std::move(value);
+  rec.expires_at = expires_at;
+}
+
+const StoreRecord* NodeStore::Get(const std::string& app_key, uint64_t now) {
+  auto it = records_.find(app_key);
+  if (it == records_.end()) return nullptr;
+  if (it->second.expires_at <= now) {
+    records_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+bool NodeStore::Erase(const std::string& app_key) {
+  return records_.erase(app_key) > 0;
+}
+
+size_t NodeStore::ExpireUntil(uint64_t now) {
+  size_t dropped = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->second.expires_at <= now) {
+      it = records_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+void NodeStore::MigrateAll(NodeStore& dest) {
+  for (auto& [key, rec] : records_) {
+    dest.records_[key] = std::move(rec);
+  }
+  records_.clear();
+}
+
+size_t NodeStore::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& [key, rec] : records_) {
+    total += key.size() + rec.value.size();
+  }
+  return total;
+}
+
+}  // namespace dhs

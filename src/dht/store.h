@@ -1,0 +1,93 @@
+// Per-node soft-state key/value store.
+//
+// Records carry the DHT key they were routed with (so the network can
+// migrate them on membership change) and an absolute expiry tick
+// (soft-state deletion, §3.3 of the paper: entries age out unless
+// refreshed).
+
+#ifndef DHS_DHT_STORE_H_
+#define DHS_DHT_STORE_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace dhs {
+
+/// Expiry value meaning "never expires".
+inline constexpr uint64_t kNoExpiry = std::numeric_limits<uint64_t>::max();
+
+/// One stored record.
+struct StoreRecord {
+  uint64_t dht_key = 0;          // routing key the record was stored under
+  std::string value;             // opaque application payload
+  uint64_t expires_at = kNoExpiry;  // absolute virtual-clock tick
+};
+
+/// The storage hosted by a single overlay node. Keys are application-level
+/// byte strings (the DHS layer packs metric/vector/bit into them); the map
+/// is ordered so prefix scans are O(log n + matches).
+class NodeStore {
+ public:
+  /// Inserts or refreshes a record. Refreshing updates value, dht_key and
+  /// expiry (the paper's timestamp-reset on update).
+  void Put(uint64_t dht_key, const std::string& app_key, std::string value,
+           uint64_t expires_at);
+
+  /// Returns the live record for `app_key`, or nullptr. Records whose
+  /// expiry is <= now are treated as absent (and lazily erased).
+  const StoreRecord* Get(const std::string& app_key, uint64_t now);
+
+  /// Removes a record; returns true if present.
+  bool Erase(const std::string& app_key);
+
+  /// Drops every record with expires_at <= now. Returns number dropped.
+  size_t ExpireUntil(uint64_t now);
+
+  /// Invokes fn(app_key, record) for each live record whose key starts
+  /// with `prefix`. `fn` must not mutate the store.
+  template <typename Fn>
+  void ForEachWithPrefix(const std::string& prefix, uint64_t now,
+                         Fn&& fn) const {
+    for (auto it = records_.lower_bound(prefix);
+         it != records_.end() && it->first.compare(0, prefix.size(), prefix,
+                                                   0, prefix.size()) == 0;
+         ++it) {
+      if (it->second.expires_at > now) fn(it->first, it->second);
+    }
+  }
+
+  /// Moves every record with dht_key in the ring interval selected by
+  /// `predicate` into `dest` (membership-change migration).
+  template <typename Pred>
+  void MigrateIf(Pred&& predicate, NodeStore& dest) {
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (predicate(it->second.dht_key)) {
+        dest.records_[it->first] = std::move(it->second);
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Moves everything into `dest` (graceful leave).
+  void MigrateAll(NodeStore& dest);
+
+  void Clear() { records_.clear(); }
+  size_t NumRecords() const { return records_.size(); }
+
+  /// Total payload bytes held (keys + values), the paper's storage-load
+  /// metric.
+  size_t SizeBytes() const;
+
+ private:
+  std::map<std::string, StoreRecord> records_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHT_STORE_H_

@@ -1,0 +1,62 @@
+#include "histogram/dhs_histogram.h"
+
+#include <map>
+
+#include "dhs/metrics.h"
+
+namespace dhs {
+
+DhsHistogram::DhsHistogram(DhsClient* client, HistogramSpec spec,
+                           uint64_t histogram_id)
+    : client_(client), spec_(std::move(spec)), histogram_id_(histogram_id) {}
+
+uint64_t DhsHistogram::MetricForBucket(int i) const {
+  return SubMetric(histogram_id_, static_cast<uint64_t>(i));
+}
+
+Status DhsHistogram::InsertBatch(
+    uint64_t origin_node,
+    const std::vector<std::pair<uint64_t, int64_t>>& items, Rng& rng) {
+  std::map<int, std::vector<uint64_t>> by_bucket;
+  for (const auto& [hash, value] : items) {
+    by_bucket[spec_.BucketOf(value)].push_back(hash);
+  }
+  for (const auto& [bucket, hashes] : by_bucket) {
+    Status s = client_->InsertBatch(origin_node, MetricForBucket(bucket),
+                                    hashes, rng);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+StatusOr<DhsHistogram::Reconstruction> DhsHistogram::Reconstruct(
+    uint64_t origin_node, Rng& rng) {
+  return ReconstructRange(origin_node, spec_.min_value(), spec_.max_value(),
+                          rng);
+}
+
+StatusOr<DhsHistogram::Reconstruction> DhsHistogram::ReconstructRange(
+    uint64_t origin_node, int64_t lo, int64_t hi, Rng& rng) {
+  std::vector<uint64_t> metrics;
+  std::vector<int> requested;
+  for (int i = 0; i < spec_.num_buckets(); ++i) {
+    const auto [b_lo, b_hi] = spec_.BucketBounds(i);
+    if (b_hi < lo || b_lo > hi) continue;
+    requested.push_back(i);
+    metrics.push_back(MetricForBucket(i));
+  }
+  Reconstruction result;
+  result.buckets.assign(static_cast<size_t>(spec_.num_buckets()), 0.0);
+  if (metrics.empty()) return result;
+
+  auto counts = client_->CountMany(origin_node, metrics, rng);
+  if (!counts.ok()) return counts.status();
+  for (size_t j = 0; j < requested.size(); ++j) {
+    result.buckets[static_cast<size_t>(requested[j])] =
+        counts->estimates[j];
+  }
+  result.cost = counts->cost;
+  return result;
+}
+
+}  // namespace dhs

@@ -1,0 +1,69 @@
+// Histograms over DHS (§4.3): one DHS metric per histogram bucket. Nodes
+// record each locally stored tuple under its bucket's metric; any node can
+// then reconstruct the full histogram with a single multi-dimension DHS
+// count, whose hop cost is independent of the number of buckets (§4.2).
+
+#ifndef DHS_HISTOGRAM_DHS_HISTOGRAM_H_
+#define DHS_HISTOGRAM_DHS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dhs/client.h"
+#include "histogram/equi_width.h"
+
+namespace dhs {
+
+/// A distributed equi-width histogram bound to a DhsClient.
+///
+/// The histogram is identified by `histogram_id` (e.g. a hash of
+/// "relation.attribute"); bucket i's DHS metric is derived from it
+/// deterministically, so every node agrees on the metric IDs without
+/// coordination — the paper's requirement that bucket boundaries be
+/// "constant and known in advance".
+class DhsHistogram {
+ public:
+  /// The client must outlive the histogram.
+  DhsHistogram(DhsClient* client, HistogramSpec spec, uint64_t histogram_id);
+
+  const HistogramSpec& spec() const { return spec_; }
+
+  /// DHS metric for bucket i.
+  uint64_t MetricForBucket(int i) const;
+
+  /// Records a batch of locally stored tuples from `origin_node`. Each
+  /// item is (tuple_hash, attribute_value); tuples are grouped by bucket
+  /// and bulk-inserted (§3.2).
+  Status InsertBatch(
+      uint64_t origin_node,
+      const std::vector<std::pair<uint64_t, int64_t>>& items, Rng& rng);
+
+  /// A reconstructed histogram: per-bucket cardinality estimates plus the
+  /// (bucket-count-independent) sweep cost.
+  struct Reconstruction {
+    std::vector<double> buckets;
+    DhsCostReport cost;
+  };
+
+  /// Reconstructs all buckets from `origin_node` with one multi-metric
+  /// DHS count.
+  StatusOr<Reconstruction> Reconstruct(uint64_t origin_node, Rng& rng);
+
+  /// Reconstructs only the buckets overlapping [lo, hi] (the paper's
+  /// note: query processing may need only the buckets a predicate
+  /// touches). Non-requested buckets are returned as 0.
+  StatusOr<Reconstruction> ReconstructRange(uint64_t origin_node, int64_t lo,
+                                            int64_t hi, Rng& rng);
+
+ private:
+  DhsClient* client_;
+  HistogramSpec spec_;
+  uint64_t histogram_id_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_HISTOGRAM_DHS_HISTOGRAM_H_

@@ -1,0 +1,68 @@
+#include "histogram/equi_width.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dhs {
+
+HistogramSpec::HistogramSpec(int64_t min_value, int64_t max_value,
+                             int num_buckets)
+    : min_value_(min_value),
+      max_value_(max_value),
+      num_buckets_(num_buckets) {
+  assert(max_value >= min_value);
+  assert(num_buckets >= 1);
+  const int64_t span = max_value - min_value + 1;
+  width_ = std::max<int64_t>(1, span / num_buckets);
+}
+
+int HistogramSpec::BucketOf(int64_t value) const {
+  if (value < min_value_) return 0;
+  if (value > max_value_) return num_buckets_ - 1;
+  const int64_t index = (value - min_value_) / width_;
+  return static_cast<int>(
+      std::min<int64_t>(index, num_buckets_ - 1));
+}
+
+std::pair<int64_t, int64_t> HistogramSpec::BucketBounds(int i) const {
+  assert(i >= 0 && i < num_buckets_);
+  const int64_t lo = min_value_ + static_cast<int64_t>(i) * width_;
+  const int64_t hi =
+      i == num_buckets_ - 1 ? max_value_ : lo + width_ - 1;
+  return {lo, hi};
+}
+
+std::vector<uint64_t> BuildExactHistogram(const Relation& relation,
+                                          const HistogramSpec& spec) {
+  std::vector<uint64_t> buckets(spec.num_buckets(), 0);
+  const auto& counts = relation.ValueCounts();
+  for (size_t offset = 0; offset < counts.size(); ++offset) {
+    const int64_t value =
+        relation.spec().min_value + static_cast<int64_t>(offset);
+    buckets[spec.BucketOf(value)] += counts[offset];
+  }
+  return buckets;
+}
+
+double EstimateRangeFromHistogram(const std::vector<double>& buckets,
+                                  const HistogramSpec& spec, int64_t lo,
+                                  int64_t hi) {
+  if (hi < lo) return 0.0;
+  lo = std::max(lo, spec.min_value());
+  hi = std::min(hi, spec.max_value());
+  if (hi < lo) return 0.0;
+  double total = 0.0;
+  for (int i = 0; i < spec.num_buckets(); ++i) {
+    const auto [b_lo, b_hi] = spec.BucketBounds(i);
+    const int64_t overlap_lo = std::max(lo, b_lo);
+    const int64_t overlap_hi = std::min(hi, b_hi);
+    if (overlap_hi < overlap_lo) continue;
+    const double fraction =
+        static_cast<double>(overlap_hi - overlap_lo + 1) /
+        static_cast<double>(b_hi - b_lo + 1);
+    total += buckets[static_cast<size_t>(i)] * fraction;
+  }
+  return total;
+}
+
+}  // namespace dhs

@@ -1,0 +1,59 @@
+// Equi-width histogram vocabulary (§4.3): bucket geometry over an integer
+// attribute domain, plus the exact (centralized) histogram used as ground
+// truth in the evaluation.
+
+#ifndef DHS_HISTOGRAM_EQUI_WIDTH_H_
+#define DHS_HISTOGRAM_EQUI_WIDTH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+
+namespace dhs {
+
+/// Geometry of an I-bucket equi-width histogram over [min_value,
+/// max_value]: bucket B_i covers [min + i*S, min + (i+1)*S) with
+/// S = (max - min + 1) / I (the paper's partitioning).
+class HistogramSpec {
+ public:
+  /// Bucket count must divide cleanly enough: the last bucket absorbs any
+  /// remainder so the whole domain is always covered.
+  HistogramSpec(int64_t min_value, int64_t max_value, int num_buckets);
+
+  int num_buckets() const { return num_buckets_; }
+  int64_t min_value() const { return min_value_; }
+  int64_t max_value() const { return max_value_; }
+  int64_t bucket_width() const { return width_; }
+
+  /// Index of the bucket containing `value`; values outside the domain
+  /// clamp to the first/last bucket.
+  int BucketOf(int64_t value) const;
+
+  /// Inclusive-lo / inclusive-hi value bounds of bucket i.
+  std::pair<int64_t, int64_t> BucketBounds(int i) const;
+
+ private:
+  int64_t min_value_;
+  int64_t max_value_;
+  int num_buckets_;
+  int64_t width_;
+};
+
+/// Exact equi-width histogram (tuple counts per bucket) computed
+/// centrally from a relation — the evaluation's ground truth.
+std::vector<uint64_t> BuildExactHistogram(const Relation& relation,
+                                          const HistogramSpec& spec);
+
+/// Estimates |{t : lo <= t.a <= hi}| from per-bucket counts, assuming a
+/// uniform value distribution within each bucket (standard equi-width
+/// interpolation).
+double EstimateRangeFromHistogram(const std::vector<double>& buckets,
+                                  const HistogramSpec& spec, int64_t lo,
+                                  int64_t hi);
+
+}  // namespace dhs
+
+#endif  // DHS_HISTOGRAM_EQUI_WIDTH_H_

@@ -1,0 +1,19 @@
+#include "queryopt/join_graph.h"
+
+namespace dhs {
+
+bool JoinQuery::SpecsAligned() const {
+  if (inputs.empty()) return true;
+  const HistogramSpec& first = inputs.front().stats.spec;
+  for (const JoinInput& input : inputs) {
+    const HistogramSpec& spec = input.stats.spec;
+    if (spec.min_value() != first.min_value() ||
+        spec.max_value() != first.max_value() ||
+        spec.num_buckets() != first.num_buckets()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dhs

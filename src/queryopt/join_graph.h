@@ -1,0 +1,39 @@
+// Multi-way equi-join queries over the shared integer attribute — the
+// workload of the paper's query-processing experiment (§5.2: multi-way
+// joins over four relations a la PIER/FREddies).
+
+#ifndef DHS_QUERYOPT_JOIN_GRAPH_H_
+#define DHS_QUERYOPT_JOIN_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "queryopt/selectivity.h"
+
+namespace dhs {
+
+/// One input relation of a join query.
+struct JoinInput {
+  std::string name;
+  AttributeStats stats;   // per-bucket cardinalities (exact or estimated)
+  size_t tuple_bytes = 1024;
+
+  double Cardinality() const { return stats.TotalCardinality(); }
+  double TotalBytes() const { return Cardinality() * tuple_bytes; }
+};
+
+/// A natural multi-way equi-join of `inputs` on the histogram attribute.
+/// All inputs must share the same HistogramSpec.
+struct JoinQuery {
+  std::vector<JoinInput> inputs;
+
+  size_t NumRelations() const { return inputs.size(); }
+
+  /// Validates spec alignment; call once after construction.
+  bool SpecsAligned() const;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_QUERYOPT_JOIN_GRAPH_H_

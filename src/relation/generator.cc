@@ -1,0 +1,38 @@
+#include <utility>
+
+#include "common/zipf.h"
+#include "hashing/hasher.h"
+#include "relation/relation.h"
+
+namespace dhs {
+
+Relation RelationGenerator::Generate(const RelationSpec& spec,
+                                     uint64_t seed) {
+  Rng rng(SplitMix64(seed));
+  ZipfGenerator zipf(spec.domain_size, spec.zipf_theta);
+  std::vector<uint32_t> offsets;
+  offsets.reserve(spec.num_tuples);
+  for (uint64_t i = 0; i < spec.num_tuples; ++i) {
+    offsets.push_back(static_cast<uint32_t>(zipf.Sample(rng) - 1));
+  }
+  // The ID salt depends on name and seed so two relations never share
+  // tuple IDs (distinct items in the DHS).
+  const uint64_t salt =
+      SplitMix64(MixHasher(seed).Hash(spec.name) ^ 0xd1575b07u);
+  return Relation(spec, std::move(offsets), salt);
+}
+
+std::vector<std::pair<uint64_t, std::vector<uint64_t>>> AssignTuplesToNodes(
+    const Relation& relation, const std::vector<uint64_t>& node_ids,
+    Rng& rng) {
+  std::vector<std::pair<uint64_t, std::vector<uint64_t>>> assignment;
+  assignment.reserve(node_ids.size());
+  for (uint64_t node : node_ids) assignment.emplace_back(node, std::vector<uint64_t>{});
+  for (uint64_t i = 0; i < relation.NumTuples(); ++i) {
+    const size_t node_index = rng.UniformU64(node_ids.size());
+    assignment[node_index].second.push_back(i);
+  }
+  return assignment;
+}
+
+}  // namespace dhs

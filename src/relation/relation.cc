@@ -1,0 +1,36 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dhs {
+
+Relation::Relation(RelationSpec spec, std::vector<uint32_t> value_offsets,
+                   uint64_t id_salt)
+    : spec_(std::move(spec)),
+      value_offsets_(std::move(value_offsets)),
+      value_counts_(spec_.domain_size, 0),
+      id_salt_(id_salt) {
+  for (uint32_t offset : value_offsets_) {
+    assert(offset < spec_.domain_size);
+    value_counts_[offset] += 1;
+  }
+  cumulative_counts_.resize(value_counts_.size() + 1, 0);
+  for (size_t i = 0; i < value_counts_.size(); ++i) {
+    cumulative_counts_[i + 1] = cumulative_counts_[i] + value_counts_[i];
+  }
+}
+
+uint64_t Relation::CountValueRange(int64_t lo, int64_t hi) const {
+  if (hi < lo) return 0;
+  const int64_t max_value =
+      spec_.min_value + static_cast<int64_t>(spec_.domain_size) - 1;
+  lo = std::max(lo, spec_.min_value);
+  hi = std::min(hi, max_value);
+  if (hi < lo) return 0;
+  const size_t lo_idx = static_cast<size_t>(lo - spec_.min_value);
+  const size_t hi_idx = static_cast<size_t>(hi - spec_.min_value);
+  return cumulative_counts_[hi_idx + 1] - cumulative_counts_[lo_idx];
+}
+
+}  // namespace dhs

@@ -1,0 +1,84 @@
+// Relational workload substrate (§5.1 of the paper): relations of 1 kB
+// tuples with a single integer attribute drawn from Zipf(theta), tuples
+// uniformly assigned to overlay nodes.
+
+#ifndef DHS_RELATION_RELATION_H_
+#define DHS_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dhs {
+
+/// Static description of a generated relation.
+struct RelationSpec {
+  std::string name;
+  uint64_t num_tuples = 0;
+  /// Attribute values are drawn from [min_value, min_value + domain - 1].
+  int64_t min_value = 1;
+  uint64_t domain_size = 1000;
+  /// Zipf skew; 0 = uniform. The paper uses theta = 0.7.
+  double zipf_theta = 0.7;
+  /// Logical tuple width for data-transfer accounting (paper: 1 kB).
+  size_t tuple_bytes = 1024;
+};
+
+/// A materialized relation: one integer attribute per tuple plus a unique
+/// 64-bit tuple identifier (the DHS item ID). Attribute values are stored
+/// column-wise; value-frequency counts are precomputed as ground truth.
+class Relation {
+ public:
+  Relation(RelationSpec spec, std::vector<uint32_t> value_offsets,
+           uint64_t id_salt);
+
+  const RelationSpec& spec() const { return spec_; }
+  uint64_t NumTuples() const { return value_offsets_.size(); }
+
+  /// Attribute value of tuple i.
+  int64_t Value(uint64_t i) const {
+    return spec_.min_value + static_cast<int64_t>(value_offsets_[i]);
+  }
+
+  /// Globally unique tuple identifier (deterministic given the relation's
+  /// name-derived salt) — the item fed to the DHS hash.
+  uint64_t TupleId(uint64_t i) const { return SplitMix64(id_salt_ + i); }
+
+  /// Exact number of tuples with value in [lo, hi] (ground truth).
+  uint64_t CountValueRange(int64_t lo, int64_t hi) const;
+
+  /// Exact per-domain-value tuple counts; index v = value - min_value.
+  const std::vector<uint64_t>& ValueCounts() const { return value_counts_; }
+
+  /// Total bytes of the relation under the spec's tuple width.
+  uint64_t TotalBytes() const { return NumTuples() * spec_.tuple_bytes; }
+
+ private:
+  RelationSpec spec_;
+  std::vector<uint32_t> value_offsets_;  // value - min_value per tuple
+  std::vector<uint64_t> value_counts_;   // per domain offset
+  std::vector<uint64_t> cumulative_counts_;
+  uint64_t id_salt_;
+};
+
+/// Deterministic generator for RelationSpec workloads.
+class RelationGenerator {
+ public:
+  /// Materializes `spec` with Zipf(theta)-distributed values; fully
+  /// reproducible for a given seed.
+  static Relation Generate(const RelationSpec& spec, uint64_t seed);
+};
+
+/// Uniform assignment of tuples to overlay nodes: returns, for each node
+/// (keyed by node ID), the tuple indices it hosts. Every tuple is placed
+/// on exactly one node (the paper's storage model).
+std::vector<std::pair<uint64_t, std::vector<uint64_t>>> AssignTuplesToNodes(
+    const Relation& relation, const std::vector<uint64_t>& node_ids,
+    Rng& rng);
+
+}  // namespace dhs
+
+#endif  // DHS_RELATION_RELATION_H_

@@ -1,0 +1,160 @@
+#include "sketch/hyperloglog.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "sketch/rho.h"
+
+namespace dhs {
+
+double HyperLogLogAlpha(int m) {
+  assert(m >= 16);
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+double HyperLogLogEstimateFromM(const std::vector<int>& max_rho) {
+  assert(!max_rho.empty());
+  const int m = static_cast<int>(max_rho.size());
+  // Registers are 0-indexed max-rho values; the HLL formulation uses
+  // 1-indexed ranks with 0 = empty, i.e. rank = v + 1.
+  double harmonic = 0.0;
+  int empty = 0;
+  for (int v : max_rho) {
+    if (v < 0) {
+      harmonic += 1.0;  // 2^0
+      ++empty;
+    } else {
+      harmonic += std::exp2(-(v + 1));
+    }
+  }
+  const double md = static_cast<double>(m);
+  const double raw = HyperLogLogAlpha(m) * md * md / harmonic;
+  // Small-range correction: linear counting while empty registers exist.
+  if (raw <= 2.5 * md && empty > 0) {
+    return md * std::log(md / static_cast<double>(empty));
+  }
+  // With 64-bit hashes the classic 32-bit large-range correction is
+  // unnecessary for any practical cardinality.
+  return raw;
+}
+
+HllSketch::HllSketch(int num_bitmaps, int bits)
+    : num_bitmaps_(num_bitmaps),
+      bits_(bits),
+      index_bits_(Log2Floor(static_cast<uint64_t>(num_bitmaps))),
+      registers_(static_cast<size_t>(num_bitmaps), -1) {
+  assert(num_bitmaps >= 16 && num_bitmaps <= (1 << 16));
+  assert(IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)));
+  assert(bits >= 4 && bits <= 64);
+}
+
+void HllSketch::AddHash(uint64_t hash) {
+  const uint64_t index = LowBits(hash, index_bits_);
+  const uint64_t rest = hash >> index_bits_;
+  int r = Rho(rest, bits_);
+  if (r >= bits_) r = bits_ - 1;
+  OfferM(static_cast<int>(index), r);
+}
+
+void HllSketch::OfferM(int bitmap, int value) {
+  assert(bitmap >= 0 && bitmap < num_bitmaps_);
+  assert(value >= 0 && value < bits_);
+  if (value > registers_[bitmap]) {
+    registers_[bitmap] = static_cast<int8_t>(value);
+  }
+}
+
+double HllSketch::Estimate() const {
+  return HyperLogLogEstimateFromM(ObservablesM());
+}
+
+size_t HllSketch::SerializedBytes() const {
+  return 8 + static_cast<size_t>(num_bitmaps_);
+}
+
+Status HllSketch::Merge(const CardinalityEstimator& other) {
+  const auto* o = dynamic_cast<const HllSketch*>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("merge: not an HllSketch");
+  }
+  if (o->num_bitmaps_ != num_bitmaps_ || o->bits_ != bits_) {
+    return Status::InvalidArgument("merge: parameter mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], o->registers_[i]);
+  }
+  return Status::OK();
+}
+
+void HllSketch::Clear() {
+  for (auto& r : registers_) r = -1;
+}
+
+std::vector<int> HllSketch::ObservablesM() const {
+  return std::vector<int>(registers_.begin(), registers_.end());
+}
+
+std::string HllSketch::Serialize() const {
+  std::string out;
+  out.reserve(SerializedBytes());
+  auto put_u32 = [&out](uint32_t x) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(x >> (8 * i)));
+  };
+  put_u32(static_cast<uint32_t>(num_bitmaps_));
+  put_u32(static_cast<uint32_t>(bits_));
+  for (int8_t r : registers_) {
+    out.push_back(r < 0 ? static_cast<char>(0xff) : static_cast<char>(r));
+  }
+  return out;
+}
+
+StatusOr<HllSketch> HllSketch::Deserialize(const std::string& data) {
+  if (data.size() < 8) return Status::InvalidArgument("hll: short header");
+  auto get_u32 = [&data](size_t off) {
+    uint32_t x = 0;
+    for (int i = 3; i >= 0; --i) {
+      x = (x << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
+    }
+    return x;
+  };
+  const uint32_t m = get_u32(0);
+  const uint32_t bits = get_u32(4);
+  if (m < 16 || m > (1u << 16) || !IsPowerOfTwo(m) || bits < 4 ||
+      bits > 64) {
+    return Status::InvalidArgument("hll: bad parameters");
+  }
+  if (data.size() != 8 + m) {
+    return Status::InvalidArgument("hll: truncated payload");
+  }
+  HllSketch sketch(static_cast<int>(m), static_cast<int>(bits));
+  for (uint32_t i = 0; i < m; ++i) {
+    const uint8_t byte = static_cast<uint8_t>(data[8 + i]);
+    if (byte == 0xff) {
+      sketch.registers_[i] = -1;
+    } else if (byte < bits) {
+      sketch.registers_[i] = static_cast<int8_t>(byte);
+    } else {
+      return Status::InvalidArgument("hll: register out of range");
+    }
+  }
+  return sketch;
+}
+
+bool HllSketch::Empty() const {
+  for (int8_t r : registers_) {
+    if (r >= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dhs

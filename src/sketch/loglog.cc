@@ -1,0 +1,126 @@
+#include "sketch/loglog.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bit_util.h"
+#include "sketch/rho.h"
+
+namespace dhs {
+
+LogLogSketch::LogLogSketch(int num_bitmaps, int bits, Mode mode)
+    : num_bitmaps_(num_bitmaps),
+      bits_(bits),
+      mode_(mode),
+      index_bits_(Log2Floor(static_cast<uint64_t>(num_bitmaps))),
+      registers_(static_cast<size_t>(num_bitmaps), -1) {
+  assert(num_bitmaps >= 2 && num_bitmaps <= (1 << 16));
+  assert(IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)));
+  assert(bits >= 4 && bits <= 64);
+}
+
+void LogLogSketch::AddHash(uint64_t hash) {
+  const uint64_t index = LowBits(hash, index_bits_);
+  const uint64_t rest = hash >> index_bits_;
+  int r = Rho(rest, bits_);
+  if (r >= bits_) r = bits_ - 1;  // clamp the rho(0) = L saturation
+  OfferM(static_cast<int>(index), r);
+}
+
+void LogLogSketch::OfferM(int bitmap, int value) {
+  assert(bitmap >= 0 && bitmap < num_bitmaps_);
+  assert(value >= 0 && value < bits_);
+  if (value > registers_[bitmap]) {
+    registers_[bitmap] = static_cast<int8_t>(value);
+  }
+}
+
+double LogLogSketch::Estimate() const {
+  const std::vector<int> m = ObservablesM();
+  return mode_ == Mode::kPlain ? LogLogEstimateFromM(m)
+                               : SuperLogLogEstimateFromM(m);
+}
+
+size_t LogLogSketch::SerializedBytes() const {
+  return 9 + static_cast<size_t>(num_bitmaps_);
+}
+
+Status LogLogSketch::Merge(const CardinalityEstimator& other) {
+  const auto* o = dynamic_cast<const LogLogSketch*>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("merge: not a LogLogSketch");
+  }
+  if (o->num_bitmaps_ != num_bitmaps_ || o->bits_ != bits_) {
+    return Status::InvalidArgument("merge: parameter mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], o->registers_[i]);
+  }
+  return Status::OK();
+}
+
+void LogLogSketch::Clear() {
+  for (auto& r : registers_) r = -1;
+}
+
+std::vector<int> LogLogSketch::ObservablesM() const {
+  return std::vector<int>(registers_.begin(), registers_.end());
+}
+
+std::string LogLogSketch::Serialize() const {
+  std::string out;
+  out.reserve(SerializedBytes());
+  auto put_u32 = [&out](uint32_t x) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(x >> (8 * i)));
+  };
+  put_u32(static_cast<uint32_t>(num_bitmaps_));
+  put_u32(static_cast<uint32_t>(bits_));
+  out.push_back(mode_ == Mode::kPlain ? 0 : 1);
+  for (int8_t r : registers_) {
+    out.push_back(r < 0 ? static_cast<char>(0xff) : static_cast<char>(r));
+  }
+  return out;
+}
+
+StatusOr<LogLogSketch> LogLogSketch::Deserialize(const std::string& data) {
+  if (data.size() < 9) return Status::InvalidArgument("loglog: short header");
+  auto get_u32 = [&data](size_t off) {
+    uint32_t x = 0;
+    for (int i = 3; i >= 0; --i) {
+      x = (x << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
+    }
+    return x;
+  };
+  const uint32_t m = get_u32(0);
+  const uint32_t bits = get_u32(4);
+  const uint8_t mode_byte = static_cast<uint8_t>(data[8]);
+  if (m < 2 || m > (1u << 16) || !IsPowerOfTwo(m) || bits < 4 || bits > 64 ||
+      mode_byte > 1) {
+    return Status::InvalidArgument("loglog: bad parameters");
+  }
+  if (data.size() != 9 + m) {
+    return Status::InvalidArgument("loglog: truncated payload");
+  }
+  LogLogSketch sketch(static_cast<int>(m), static_cast<int>(bits),
+                      mode_byte == 0 ? Mode::kPlain : Mode::kSuperTrunc);
+  for (uint32_t i = 0; i < m; ++i) {
+    const uint8_t byte = static_cast<uint8_t>(data[9 + i]);
+    if (byte == 0xff) {
+      sketch.registers_[i] = -1;
+    } else if (byte < bits) {
+      sketch.registers_[i] = static_cast<int8_t>(byte);
+    } else {
+      return Status::InvalidArgument("loglog: register out of range");
+    }
+  }
+  return sketch;
+}
+
+bool LogLogSketch::Empty() const {
+  for (int8_t r : registers_) {
+    if (r >= 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dhs

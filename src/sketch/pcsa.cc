@@ -1,0 +1,134 @@
+#include "sketch/pcsa.h"
+
+#include <cassert>
+
+#include "common/bit_util.h"
+#include "sketch/rho.h"
+
+namespace dhs {
+
+PcsaSketch::PcsaSketch(int num_bitmaps, int bits)
+    : num_bitmaps_(num_bitmaps),
+      bits_(bits),
+      index_bits_(num_bitmaps > 1
+                      ? Log2Floor(static_cast<uint64_t>(num_bitmaps))
+                      : 0),
+      bitmaps_(static_cast<size_t>(num_bitmaps), 0) {
+  assert(num_bitmaps >= 1 && num_bitmaps <= (1 << 16));
+  assert(IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)));
+  assert(bits >= 4 && bits <= 64);
+}
+
+void PcsaSketch::AddHash(uint64_t hash) {
+  const uint64_t index = LowBits(hash, index_bits_);
+  const uint64_t rest = hash >> index_bits_;
+  const int r = Rho(rest, bits_);
+  if (r < bits_) {
+    bitmaps_[index] |= uint64_t{1} << r;
+  } else {
+    // rho saturated at the bitmap length: set the top position, matching
+    // the paper's rho(0) = L convention while staying within the bitmap.
+    bitmaps_[index] |= uint64_t{1} << (bits_ - 1);
+  }
+}
+
+double PcsaSketch::Estimate() const { return PcsaEstimateFromM(ObservablesM()); }
+
+size_t PcsaSketch::SerializedBytes() const {
+  const size_t per_bitmap = (static_cast<size_t>(bits_) + 7) / 8;
+  return 8 + per_bitmap * static_cast<size_t>(num_bitmaps_);
+}
+
+Status PcsaSketch::Merge(const CardinalityEstimator& other) {
+  const auto* o = dynamic_cast<const PcsaSketch*>(&other);
+  if (o == nullptr) {
+    return Status::InvalidArgument("merge: not a PcsaSketch");
+  }
+  if (o->num_bitmaps_ != num_bitmaps_ || o->bits_ != bits_) {
+    return Status::InvalidArgument("merge: parameter mismatch");
+  }
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    bitmaps_[i] |= o->bitmaps_[i];
+  }
+  return Status::OK();
+}
+
+void PcsaSketch::Clear() {
+  for (auto& b : bitmaps_) b = 0;
+}
+
+bool PcsaSketch::TestBit(int bitmap, int position) const {
+  assert(bitmap >= 0 && bitmap < num_bitmaps_);
+  assert(position >= 0 && position < bits_);
+  return (bitmaps_[bitmap] >> position) & 1u;
+}
+
+void PcsaSketch::SetBit(int bitmap, int position) {
+  assert(bitmap >= 0 && bitmap < num_bitmaps_);
+  assert(position >= 0 && position < bits_);
+  bitmaps_[bitmap] |= uint64_t{1} << position;
+}
+
+std::vector<int> PcsaSketch::ObservablesM() const {
+  std::vector<int> m(bitmaps_.size());
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    m[i] = LeastSignificantZero(bitmaps_[i], bits_);
+  }
+  return m;
+}
+
+std::string PcsaSketch::Serialize() const {
+  std::string out;
+  out.reserve(SerializedBytes());
+  auto put_u32 = [&out](uint32_t x) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(x >> (8 * i)));
+  };
+  put_u32(static_cast<uint32_t>(num_bitmaps_));
+  put_u32(static_cast<uint32_t>(bits_));
+  const int per_bitmap = (bits_ + 7) / 8;
+  for (uint64_t b : bitmaps_) {
+    for (int i = 0; i < per_bitmap; ++i) {
+      out.push_back(static_cast<char>(b >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+StatusOr<PcsaSketch> PcsaSketch::Deserialize(const std::string& data) {
+  if (data.size() < 8) return Status::InvalidArgument("pcsa: short header");
+  auto get_u32 = [&data](size_t off) {
+    uint32_t x = 0;
+    for (int i = 3; i >= 0; --i) {
+      x = (x << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
+    }
+    return x;
+  };
+  const uint32_t m = get_u32(0);
+  const uint32_t bits = get_u32(4);
+  if (m < 1 || m > (1u << 16) || !IsPowerOfTwo(m) || bits < 4 || bits > 64) {
+    return Status::InvalidArgument("pcsa: bad parameters");
+  }
+  const size_t per_bitmap = (bits + 7) / 8;
+  if (data.size() != 8 + per_bitmap * m) {
+    return Status::InvalidArgument("pcsa: truncated payload");
+  }
+  PcsaSketch sketch(static_cast<int>(m), static_cast<int>(bits));
+  size_t off = 8;
+  for (uint32_t i = 0; i < m; ++i) {
+    uint64_t b = 0;
+    for (size_t j = 0; j < per_bitmap; ++j) {
+      b |= static_cast<uint64_t>(static_cast<uint8_t>(data[off++])) << (8 * j);
+    }
+    sketch.bitmaps_[i] = b;
+  }
+  return sketch;
+}
+
+bool PcsaSketch::Empty() const {
+  for (uint64_t b : bitmaps_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dhs

@@ -1,0 +1,15 @@
+// rho.h is header-only; this TU exists so the build exposes a .cc per
+// module and to anchor the header's compilation.
+#include "sketch/rho.h"
+
+namespace dhs {
+
+static_assert(Rho(0, 24) == 24);
+static_assert(Rho(1, 24) == 0);
+static_assert(Rho(0b1000, 24) == 3);
+static_assert(LeastSignificantZero(0b0111, 24) == 3);
+static_assert(LeastSignificantZero(0xffffff, 24) == 24);
+static_assert(MostSignificantOne(0b0110, 24) == 2);
+static_assert(MostSignificantOne(0, 24) == -1);
+
+}  // namespace dhs

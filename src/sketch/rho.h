@@ -1,0 +1,43 @@
+// The ρ(·) bit-pattern function underlying hash sketches, plus bitmap
+// scanning helpers shared by PCSA and (super-)LogLog.
+//
+// Following the paper's convention (§2.2): ρ(y) is the position of the
+// least significant 1-bit of y (position 0 = LSB), and ρ(0) = L, the
+// bitmap length. Under a uniform hash, P(ρ(h(d)) = r) = 2^-(r+1).
+
+#ifndef DHS_SKETCH_RHO_H_
+#define DHS_SKETCH_RHO_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace dhs {
+
+/// Position of the least significant 1-bit of y; `bits` for y == 0.
+/// The result is clamped to [0, bits], matching a `bits`-long bitmap.
+constexpr int Rho(uint64_t y, int bits) {
+  if (y == 0) return bits;
+  const int r = std::countr_zero(y);
+  return r < bits ? r : bits;
+}
+
+/// Position of the least significant 0-bit of `bitmap`, scanning positions
+/// [0, bits); returns `bits` when all of them are set. This is the PCSA
+/// observable M (the paper's "leftmost 0-bit").
+constexpr int LeastSignificantZero(uint64_t bitmap, int bits) {
+  const int r = std::countr_one(bitmap);
+  return r < bits ? r : bits;
+}
+
+/// Position of the most significant 1-bit of `bitmap` within [0, bits);
+/// returns -1 for an all-zero bitmap. This is the LogLog observable M
+/// (the paper's "rightmost 1-bit").
+constexpr int MostSignificantOne(uint64_t bitmap, int bits) {
+  if (bits < 64) bitmap &= (uint64_t{1} << bits) - 1;
+  if (bitmap == 0) return -1;
+  return 63 - std::countl_zero(bitmap);
+}
+
+}  // namespace dhs
+
+#endif  // DHS_SKETCH_RHO_H_

@@ -1,0 +1,102 @@
+#include "dht/chord.h"
+#include "baselines/central_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dhs {
+namespace {
+
+class CentralCounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChordConfig config;
+    config.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(config);
+    Rng rng(1);
+    for (int i = 0; i < 64; ++i) ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+  }
+  std::unique_ptr<ChordNetwork> net_;
+};
+
+TEST_F(CentralCounterTest, TallyCountsEverything) {
+  CentralCounter counter(net_.get(), 42, CentralCounter::Mode::kTally);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(counter.Add(net_->RandomNode(rng), i).ok());
+  }
+  auto value = counter.Read(net_->RandomNode(rng));
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 100.0);
+}
+
+TEST_F(CentralCounterTest, TallyIsDuplicateSensitive) {
+  CentralCounter counter(net_.get(), 42, CentralCounter::Mode::kTally);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(counter.Add(net_->RandomNode(rng), 7).ok());  // same item
+  }
+  EXPECT_EQ(*counter.Read(net_->RandomNode(rng)), 50.0);
+}
+
+TEST_F(CentralCounterTest, ExactSetIsDuplicateInsensitive) {
+  CentralCounter counter(net_.get(), 42, CentralCounter::Mode::kExactSet);
+  Rng rng(4);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(counter.Add(net_->RandomNode(rng), i).ok());
+    }
+  }
+  EXPECT_EQ(*counter.Read(net_->RandomNode(rng)), 40.0);
+}
+
+TEST_F(CentralCounterTest, FreshCounterReadsZero) {
+  CentralCounter counter(net_.get(), 99, CentralCounter::Mode::kTally);
+  Rng rng(5);
+  EXPECT_EQ(*counter.Read(net_->RandomNode(rng)), 0.0);
+}
+
+TEST_F(CentralCounterTest, DistinctMetricsDoNotInterfere) {
+  CentralCounter a(net_.get(), 1, CentralCounter::Mode::kTally);
+  CentralCounter b(net_.get(), 2, CentralCounter::Mode::kTally);
+  Rng rng(6);
+  ASSERT_TRUE(a.Add(net_->RandomNode(rng), 1).ok());
+  EXPECT_EQ(*a.Read(net_->RandomNode(rng)), 1.0);
+  EXPECT_EQ(*b.Read(net_->RandomNode(rng)), 0.0);
+}
+
+TEST_F(CentralCounterTest, AllLoadConcentratesOnOneNode) {
+  // The pathology the paper calls out: every update hits the same node.
+  CentralCounter counter(net_.get(), 42, CentralCounter::Mode::kTally);
+  auto host = counter.CounterNode();
+  ASSERT_TRUE(host.ok());
+  net_->ResetLoads();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(counter.Add(net_->RandomNode(rng), i).ok());
+  }
+  uint64_t host_stores = 0;
+  uint64_t other_stores = 0;
+  for (const auto& [id, load] : net_->Loads()) {
+    (id == host.value() ? host_stores : other_stores) += load.stores;
+  }
+  EXPECT_EQ(host_stores, 200u);
+  EXPECT_EQ(other_stores, 0u);
+}
+
+TEST_F(CentralCounterTest, CounterLostWhenHostFails) {
+  CentralCounter counter(net_.get(), 42, CentralCounter::Mode::kTally);
+  Rng rng(8);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(counter.Add(net_->RandomNode(rng), i).ok());
+  }
+  auto host = counter.CounterNode();
+  ASSERT_TRUE(host.ok());
+  ASSERT_TRUE(net_->FailNode(host.value()).ok());
+  // The availability pathology: the count is simply gone.
+  EXPECT_EQ(*counter.Read(net_->RandomNode(rng)), 0.0);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,125 @@
+#include "dht/chord.h"
+#include "baselines/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+
+namespace dhs {
+namespace {
+
+class GossipTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChordConfig config;
+    config.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(config);
+    Rng rng(1);
+    for (int i = 0; i < 128; ++i) ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+    // 40 items on each node, ~25% of them shared duplicates. Item IDs
+    // are hashed (SplitMix64) so sketches see uniform values; shared-pool
+    // IDs hash identically on every node that holds them.
+    Rng item_rng(2);
+    uint64_t next_unique = 1000;
+    for (uint64_t node : net_->NodeIds()) {
+      auto& items = local_items_[node];
+      for (int i = 0; i < 40; ++i) {
+        if (item_rng.Bernoulli(0.25)) {
+          items.push_back(SplitMix64(item_rng.UniformU64(500)));
+        } else {
+          items.push_back(SplitMix64(next_unique++));
+        }
+      }
+      total_items_ += items.size();
+    }
+  }
+
+  std::unique_ptr<ChordNetwork> net_;
+  LocalItems local_items_;
+  uint64_t total_items_ = 0;
+};
+
+TEST_F(GossipTest, PushSumConvergesToTotal) {
+  PushSumGossip gossip(net_.get(), local_items_);
+  Rng rng(3);
+  auto result = gossip.Run(net_->NodeIds()[0], 200, 1e-4, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, static_cast<double>(total_items_),
+              0.02 * total_items_);
+}
+
+TEST_F(GossipTest, PushSumIsDuplicateSensitive) {
+  // Push-sum sums local counts; it cannot deduplicate shared items, so
+  // its "distinct count" overshoots the true distinct cardinality.
+  std::set<uint64_t> distinct;
+  for (const auto& [node, items] : local_items_) {
+    distinct.insert(items.begin(), items.end());
+  }
+  PushSumGossip gossip(net_.get(), local_items_);
+  Rng rng(4);
+  auto result = gossip.Run(net_->NodeIds()[0], 200, 1e-4, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->estimate, 1.1 * static_cast<double>(distinct.size()));
+}
+
+TEST_F(GossipTest, PushSumCostScalesWithRounds) {
+  PushSumGossip gossip(net_.get(), local_items_);
+  Rng rng(5);
+  net_->ResetStats();
+  auto result = gossip.Run(net_->NodeIds()[0], 200, 1e-4, rng);
+  ASSERT_TRUE(result.ok());
+  // One message per node per round (self-picks are free), so the hop
+  // count is huge compared with a single DHS count (~100 hops).
+  const uint64_t messages =
+      static_cast<uint64_t>(result->rounds) * net_->NumNodes();
+  EXPECT_LE(net_->stats().hops, messages);
+  EXPECT_GE(net_->stats().hops, messages * 9 / 10);
+  EXPECT_GT(net_->stats().hops, 1000u);
+}
+
+TEST_F(GossipTest, PushSumRejectsBadOrigin) {
+  PushSumGossip gossip(net_.get(), local_items_);
+  Rng rng(6);
+  EXPECT_FALSE(gossip.Run(0xdeadbeef, 10, 1e-4, rng).ok());
+}
+
+TEST_F(GossipTest, SketchGossipConvergesToDistinctCount) {
+  std::set<uint64_t> distinct;
+  for (const auto& [node, items] : local_items_) {
+    distinct.insert(items.begin(), items.end());
+  }
+  SketchGossip gossip(net_.get(), local_items_, 64, 24);
+  Rng rng(7);
+  // log2(128) ~ 7 rounds spreads every sketch with high probability;
+  // use a few more.
+  auto result = gossip.Run(net_->NodeIds()[0], 12, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, static_cast<double>(distinct.size()),
+              0.5 * distinct.size());
+  EXPECT_GT(result->converged_fraction, 0.9);
+}
+
+TEST_F(GossipTest, SketchGossipFewRoundsNotConverged) {
+  SketchGossip gossip(net_.get(), local_items_, 64, 24);
+  Rng rng(8);
+  auto result = gossip.Run(net_->NodeIds()[0], 1, rng);
+  ASSERT_TRUE(result.ok());
+  // After one round almost no node holds the global union — the
+  // "eventual consistency" weakness (§1).
+  EXPECT_LT(result->converged_fraction, 0.5);
+}
+
+TEST_F(GossipTest, SketchGossipBandwidthIsSketchSized) {
+  SketchGossip gossip(net_.get(), local_items_, 64, 24);
+  Rng rng(9);
+  net_->ResetStats();
+  auto result = gossip.Run(net_->NodeIds()[0], 5, rng);
+  ASSERT_TRUE(result.ok());
+  // >= hops * sketch bytes (~200B each); vastly above a DHS count.
+  EXPECT_GT(net_->stats().bytes, 50000u);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,115 @@
+#include "dht/chord.h"
+#include "baselines/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dhs {
+namespace {
+
+class SamplingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChordConfig config;
+    config.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(config);
+    Rng rng(1);
+    for (int i = 0; i < 256; ++i) ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+    Rng item_rng(2);
+    for (uint64_t node : net_->NodeIds()) {
+      auto& items = local_items_[node];
+      const int count = 20 + static_cast<int>(item_rng.UniformU64(40));
+      for (int i = 0; i < count; ++i) items.push_back(item_rng.Next());
+      total_ += items.size();
+    }
+  }
+
+  std::unique_ptr<ChordNetwork> net_;
+  LocalItems local_items_;
+  uint64_t total_ = 0;
+};
+
+TEST_F(SamplingTest, EstimateIsUnbiasedOverManyRuns) {
+  SamplingEstimator estimator(net_.get(), local_items_);
+  Rng rng(3);
+  StreamingStats estimates;
+  for (int run = 0; run < 50; ++run) {
+    auto result = estimator.EstimateTotal(net_->RandomNode(rng), 64, rng);
+    ASSERT_TRUE(result.ok());
+    estimates.Add(result->estimate);
+  }
+  EXPECT_NEAR(estimates.mean(), static_cast<double>(total_),
+              0.15 * total_);
+}
+
+TEST_F(SamplingTest, SingleRunHasHighVariance) {
+  // The accuracy critique (§1): individual sampling runs scatter widely.
+  SamplingEstimator estimator(net_.get(), local_items_);
+  Rng rng(4);
+  StreamingStats estimates;
+  for (int run = 0; run < 30; ++run) {
+    auto result = estimator.EstimateTotal(net_->RandomNode(rng), 16, rng);
+    ASSERT_TRUE(result.ok());
+    estimates.Add(result->estimate);
+  }
+  // Relative scatter well above the ~3% a DHS count achieves at m = 512.
+  EXPECT_GT(estimates.stddev() / estimates.mean(), 0.05);
+}
+
+TEST_F(SamplingTest, MoreSamplesReduceVariance) {
+  SamplingEstimator estimator(net_.get(), local_items_);
+  Rng rng(5);
+  StreamingStats small;
+  StreamingStats large;
+  for (int run = 0; run < 25; ++run) {
+    auto a = estimator.EstimateTotal(net_->RandomNode(rng), 8, rng);
+    auto b = estimator.EstimateTotal(net_->RandomNode(rng), 128, rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    small.Add(a->estimate);
+    large.Add(b->estimate);
+  }
+  EXPECT_LT(large.stddev(), small.stddev());
+}
+
+TEST_F(SamplingTest, CostScalesWithSampleSize) {
+  SamplingEstimator estimator(net_.get(), local_items_);
+  Rng rng(6);
+  net_->ResetStats();
+  ASSERT_TRUE(estimator.EstimateTotal(net_->RandomNode(rng), 32, rng).ok());
+  const uint64_t hops_32 = net_->stats().hops;
+  net_->ResetStats();
+  ASSERT_TRUE(estimator.EstimateTotal(net_->RandomNode(rng), 64, rng).ok());
+  EXPECT_GT(net_->stats().hops, hops_32);
+  EXPECT_LT(net_->stats().hops, 4 * hops_32);
+}
+
+TEST_F(SamplingTest, ReportsSampleCountAndSpread) {
+  SamplingEstimator estimator(net_.get(), local_items_);
+  Rng rng(7);
+  auto result = estimator.EstimateTotal(net_->RandomNode(rng), 10, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->nodes_sampled, 10);
+  EXPECT_GT(result->sample_stddev, 0.0);
+}
+
+TEST_F(SamplingTest, RejectsBadArguments) {
+  SamplingEstimator estimator(net_.get(), local_items_);
+  Rng rng(8);
+  EXPECT_FALSE(estimator.EstimateTotal(0xdead, 8, rng).ok());
+  EXPECT_FALSE(
+      estimator.EstimateTotal(net_->RandomNode(rng), 0, rng).ok());
+}
+
+TEST_F(SamplingTest, EmptyNodesEstimateZero) {
+  LocalItems empty;
+  SamplingEstimator estimator(net_.get(), empty);
+  Rng rng(9);
+  auto result = estimator.EstimateTotal(net_->RandomNode(rng), 16, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace dhs

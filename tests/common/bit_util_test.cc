@@ -1,0 +1,53 @@
+#include "common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace dhs {
+namespace {
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 63));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(BitUtilTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1023), 9);
+  EXPECT_EQ(Log2Floor(1024), 10);
+  EXPECT_EQ(Log2Floor(~uint64_t{0}), 63);
+}
+
+TEST(BitUtilTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1ull << 40), 40);
+}
+
+TEST(BitUtilTest, LowBits) {
+  EXPECT_EQ(LowBits(0xffffffffffffffffULL, 4), 0xfULL);
+  EXPECT_EQ(LowBits(0xabcdULL, 8), 0xcdULL);
+  EXPECT_EQ(LowBits(0xabcdULL, 0), 0u);
+  EXPECT_EQ(LowBits(0xabcdULL, 64), 0xabcdULL);
+  EXPECT_EQ(LowBits(0xabcdULL, 100), 0xabcdULL);
+}
+
+TEST(BitUtilTest, GetBit) {
+  EXPECT_EQ(GetBit(0b1010, 0), 0);
+  EXPECT_EQ(GetBit(0b1010, 1), 1);
+  EXPECT_EQ(GetBit(0b1010, 3), 1);
+  EXPECT_EQ(GetBit(uint64_t{1} << 63, 63), 1);
+  EXPECT_EQ(GetBit(uint64_t{1} << 63, 62), 0);
+}
+
+}  // namespace
+}  // namespace dhs

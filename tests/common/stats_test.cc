@@ -1,0 +1,131 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dhs {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  StreamingStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(SampleStatsTest, EmptyPercentileIsZero) {
+  SampleStats s;
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleStatsTest, MedianOfOddCount) {
+  SampleStats s;
+  for (double x : {5.0, 1.0, 3.0}) s.Add(x);
+  EXPECT_EQ(s.Median(), 3.0);
+}
+
+TEST(SampleStatsTest, PercentileNearestRank) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_EQ(s.Percentile(0.01), 1.0);
+  EXPECT_EQ(s.Percentile(0.50), 50.0);
+  EXPECT_EQ(s.Percentile(0.99), 99.0);
+  EXPECT_EQ(s.Percentile(1.0), 100.0);
+}
+
+TEST(SampleStatsTest, AddAfterPercentileResorts) {
+  SampleStats s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_EQ(s.Percentile(1.0), 20.0);
+  s.Add(30.0);
+  EXPECT_EQ(s.Percentile(1.0), 30.0);  // must see the new maximum
+  EXPECT_EQ(s.Percentile(0.0), 10.0);
+}
+
+TEST(SampleStatsTest, MeanAndStddev) {
+  SampleStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100, 100), 0.0);
+}
+
+TEST(RelativeErrorTest, ZeroTruth) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5.0, 0.0), 5.0);
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace dhs

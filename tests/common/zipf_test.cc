@@ -1,0 +1,87 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dhs {
+namespace {
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  Rng rng(1);
+  ZipfGenerator zipf(100, 0.7);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, DomainOfOneAlwaysReturnsOne) {
+  Rng rng(2);
+  ZipfGenerator zipf(1, 0.7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfGenerator zipf(500, 0.7);
+  double sum = 0.0;
+  for (uint64_t v = 1; v <= 500; ++v) {
+    sum += zipf.Probability(v);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilityOutsideDomainIsZero) {
+  ZipfGenerator zipf(10, 0.7);
+  EXPECT_EQ(zipf.Probability(0), 0.0);
+  EXPECT_EQ(zipf.Probability(11), 0.0);
+}
+
+TEST(ZipfTest, ProbabilitiesAreMonotoneDecreasing) {
+  ZipfGenerator zipf(100, 0.7);
+  for (uint64_t v = 2; v <= 100; ++v) {
+    EXPECT_LE(zipf.Probability(v), zipf.Probability(v - 1)) << v;
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(50, 0.0);
+  for (uint64_t v = 1; v <= 50; ++v) {
+    EXPECT_NEAR(zipf.Probability(v), 1.0 / 50, 1e-12);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchTheory) {
+  Rng rng(42);
+  ZipfGenerator zipf(20, 0.7);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(21, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (uint64_t v = 1; v <= 20; ++v) {
+    const double expected = zipf.Probability(v) * kDraws;
+    EXPECT_NEAR(counts[v], expected, 5 * std::sqrt(expected) + 5) << v;
+  }
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfGenerator mild(100, 0.3);
+  ZipfGenerator steep(100, 1.2);
+  EXPECT_GT(steep.Probability(1), mild.Probability(1));
+  EXPECT_LT(steep.Probability(100), mild.Probability(100));
+}
+
+TEST(ZipfTest, ZipfRatioMatchesPowerLaw) {
+  ZipfGenerator zipf(1000, 0.7);
+  // p(1) / p(2) should be 2^0.7.
+  EXPECT_NEAR(zipf.Probability(1) / zipf.Probability(2),
+              std::pow(2.0, 0.7), 1e-9);
+}
+
+}  // namespace
+}  // namespace dhs

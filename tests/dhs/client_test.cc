@@ -1,0 +1,437 @@
+#include "dht/chord.h"
+#include "dhs/client.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "hashing/hasher.h"
+
+namespace dhs {
+namespace {
+
+ChordConfig FastChord() {
+  ChordConfig config;
+  config.hasher = "mix";
+  return config;
+}
+
+// A small but dense testbed: N = 256 nodes, m = 64 bitmaps, so that
+// n = 50k items satisfies the paper's lim-guarantee density n >= m*N.
+class DhsClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(20260705);
+    for (int i = 0; i < 256; ++i) {
+      ASSERT_TRUE(net_.AddNode(rng.Next()).ok());
+    }
+  }
+
+  DhsConfig Config(DhsEstimator estimator) {
+    DhsConfig config;
+    config.k = 24;
+    config.m = 64;
+    config.estimator = estimator;
+    return config;
+  }
+
+  // Inserts n distinct items under `metric` from random origins.
+  void Populate(DhsClient& client, uint64_t metric, uint64_t n,
+                uint64_t salt) {
+    Rng rng(salt);
+    MixHasher hasher(salt);
+    std::vector<uint64_t> batch;
+    batch.reserve(4096);
+    for (uint64_t i = 0; i < n; ++i) {
+      batch.push_back(hasher.HashU64(i));
+      if (batch.size() == 250) {
+        ASSERT_TRUE(
+            client.InsertBatch(net_.RandomNode(rng), metric, batch, rng)
+                .ok());
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      ASSERT_TRUE(
+          client.InsertBatch(net_.RandomNode(rng), metric, batch, rng).ok());
+    }
+  }
+
+  ChordNetwork net_{FastChord()};
+};
+
+TEST_F(DhsClientTest, CreateRejectsNullNetwork) {
+  EXPECT_FALSE(DhsClient::Create(nullptr, DhsConfig()).ok());
+}
+
+TEST_F(DhsClientTest, CreateRejectsInvalidConfig) {
+  DhsConfig config;
+  config.m = 3;
+  EXPECT_FALSE(DhsClient::Create(&net_, config).ok());
+}
+
+TEST_F(DhsClientTest, PlaceItemDecomposition) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Rng rng(1);
+  int rho_zero = 0;
+  constexpr int kDraws = 20000;
+  std::vector<int> vector_counts(64, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const DhsPlacement p = client->PlaceItem(rng.Next());
+    ASSERT_GE(p.vector_id, 0);
+    ASSERT_LT(p.vector_id, 64);
+    ASSERT_GE(p.rho, 0);
+    ASSERT_LE(p.rho, 24);
+    vector_counts[p.vector_id]++;
+    if (p.rho == 0) ++rho_zero;
+  }
+  // rho = 0 for half the items; vectors roughly uniform.
+  EXPECT_NEAR(rho_zero, kDraws / 2, 5 * std::sqrt(kDraws / 2.0));
+  for (int c : vector_counts) {
+    EXPECT_NEAR(c, kDraws / 64, 6 * std::sqrt(kDraws / 64.0));
+  }
+}
+
+TEST_F(DhsClientTest, PlaceItemDeterministic) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kPcsa));
+  ASSERT_TRUE(client.ok());
+  const DhsPlacement a = client->PlaceItem(0xabcdef);
+  const DhsPlacement b = client->PlaceItem(0xabcdef);
+  EXPECT_EQ(a.vector_id, b.vector_id);
+  EXPECT_EQ(a.rho, b.rho);
+}
+
+TEST_F(DhsClientTest, InsertStoresTupleInCorrectInterval) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Rng rng(2);
+  const uint64_t item = 0x2;  // rho(lsb24 = 2) = 1
+  const DhsPlacement p = client->PlaceItem(item);
+  EXPECT_EQ(p.rho, 1);
+  ASSERT_TRUE(client->Insert(net_.RandomNode(rng), 77, item, rng).ok());
+
+  // Exactly one node must now hold the tuple, keyed within bit 1's
+  // interval, findable under the (metric, bit) prefix.
+  const std::string prefix = MakeDhsPrefix(77, 1);
+  int holders = 0;
+  for (uint64_t node : net_.NodeIds()) {
+    net_.StoreAt(node)->ForEachWithPrefix(
+        prefix, net_.now(), [&](const std::string& key, const StoreRecord& rec) {
+          EXPECT_EQ(VectorIdFromDhsKey(key), p.vector_id);
+          EXPECT_TRUE(client->mapping().IntervalForBit(1)->Contains(
+              rec.dht_key));
+          ++holders;
+        });
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST_F(DhsClientTest, InsertSkipsShiftedBits) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.shift_bits = 4;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Rng rng(3);
+  // rho(lsb24 = 1) = 0 < 4: the insert must be a silent no-op.
+  net_.ResetStats();
+  ASSERT_TRUE(client->Insert(net_.RandomNode(rng), 5, 0x1, rng).ok());
+  EXPECT_EQ(net_.stats().messages, 0u);
+}
+
+TEST_F(DhsClientTest, InsertBatchDeduplicatesTuples) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Rng rng(4);
+  // 1000 copies of the same item: one lookup, one tuple.
+  std::vector<uint64_t> batch(1000, 0x12345);
+  net_.ResetStats();
+  ASSERT_TRUE(client->InsertBatch(net_.RandomNode(rng), 9, batch, rng).ok());
+  EXPECT_EQ(net_.stats().messages, 1u);
+}
+
+TEST_F(DhsClientTest, BatchCostIsBoundedByKLookups) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Rng rng(5);
+  MixHasher hasher(5);
+  std::vector<uint64_t> batch;
+  for (uint64_t i = 0; i < 10000; ++i) batch.push_back(hasher.HashU64(i));
+  net_.ResetStats();
+  ASSERT_TRUE(client->InsertBatch(net_.RandomNode(rng), 9, batch, rng).ok());
+  // §3.2: at most k + 1 target contacts per bulk round.
+  EXPECT_LE(net_.stats().messages, 25u);
+}
+
+TEST_F(DhsClientTest, CountUnknownMetricIsZero) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Rng rng(6);
+  auto result = client->Count(net_.RandomNode(rng), 404, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->estimate, 0.0);
+}
+
+TEST_F(DhsClientTest, CountRejectsBadOrigin) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Rng rng(7);
+  EXPECT_FALSE(client->Count(0xdead, 1, rng).ok());
+  EXPECT_FALSE(client->CountMany(net_.RandomNode(rng), {}, rng).ok());
+}
+
+class DhsClientEstimatorTest
+    : public DhsClientTest,
+      public ::testing::WithParamInterface<DhsEstimator> {};
+
+TEST_P(DhsClientEstimatorTest, EndToEndAccuracy) {
+  auto client = DhsClient::Create(&net_, Config(GetParam()));
+  ASSERT_TRUE(client.ok());
+  constexpr uint64_t kN = 50000;
+  Populate(*client, 1, kN, 42);
+  Rng rng(8);
+  StreamingStats errors;
+  for (int trial = 0; trial < 8; ++trial) {
+    auto result = client->Count(net_.RandomNode(rng), 1, rng);
+    ASSERT_TRUE(result.ok());
+    errors.Add((result->estimate - kN) / static_cast<double>(kN));
+  }
+  // Statistical error ~ 1.05/sqrt(64) ~ 13% plus distributed-probe error;
+  // the mean over 8 counts of the same sketch state is one realization,
+  // so allow a generous 3-sigma band.
+  EXPECT_LT(std::fabs(errors.mean()), 0.4) << DhsEstimatorName(GetParam());
+}
+
+TEST_P(DhsClientEstimatorTest, DuplicateInsensitivity) {
+  auto client = DhsClient::Create(&net_, Config(GetParam()));
+  ASSERT_TRUE(client.ok());
+  constexpr uint64_t kN = 20000;
+  Populate(*client, 2, kN, 77);
+
+  // The duplicate-insensitivity invariant is on the *logical* sketch: the
+  // set of distinct (bit, vector) coordinates present in the network.
+  // Re-inserting the same items may add physical copies on other nodes,
+  // but must not create any new coordinate.
+  auto logical_state = [&] {
+    std::set<std::pair<int, int>> coords;
+    for (uint64_t node : net_.NodeIds()) {
+      net_.StoreAt(node)->ForEachWithPrefix(
+          MakeDhsPrefix(2, 0).substr(0, 9), net_.now(),
+          [&](const std::string& key, const StoreRecord&) {
+            coords.emplace(static_cast<uint8_t>(key[9]),
+                           VectorIdFromDhsKey(key));
+          });
+    }
+    return coords;
+  };
+  const auto before = logical_state();
+  Populate(*client, 2, kN, 77);  // same items again
+  EXPECT_EQ(logical_state(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEstimators, DhsClientEstimatorTest,
+                         ::testing::Values(DhsEstimator::kSuperLogLog,
+                                           DhsEstimator::kPcsa,
+                                           DhsEstimator::kHyperLogLog));
+
+TEST_F(DhsClientTest, MultiMetricCostIsShared) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  for (uint64_t metric = 1; metric <= 4; ++metric) {
+    Populate(*client, metric, 20000, 100 + metric);
+  }
+  Rng rng(10);
+  auto single = client->Count(net_.RandomNode(rng), 1, rng);
+  ASSERT_TRUE(single.ok());
+  auto many = client->CountMany(net_.RandomNode(rng), {1, 2, 3, 4}, rng);
+  ASSERT_TRUE(many.ok());
+  ASSERT_EQ(many->estimates.size(), 4u);
+  // §4.2: hop cost independent of the number of metrics — allow 2x slack
+  // for probe randomness, far below the 4x of separate counts.
+  EXPECT_LT(many->cost.hops, 2.5 * single->cost.hops);
+  for (double estimate : many->estimates) {
+    EXPECT_NEAR(estimate, 20000, 0.5 * 20000);
+  }
+}
+
+TEST_F(DhsClientTest, MetricsAreIndependent) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 1, 30000, 1);
+  Rng rng(11);
+  auto other = client->Count(net_.RandomNode(rng), 2, rng);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->estimate, 0.0);
+}
+
+TEST_F(DhsClientTest, SoftStateAgesOut) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.ttl_ticks = 100;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 3, 20000, 5);
+  Rng rng(12);
+  auto fresh = client->Count(net_.RandomNode(rng), 3, rng);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->estimate, 0.0);
+  net_.AdvanceClock(100);
+  auto stale = client->Count(net_.RandomNode(rng), 3, rng);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->estimate, 0.0);
+}
+
+TEST_F(DhsClientTest, RefreshExtendsTtl) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.ttl_ticks = 100;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Rng rng(13);
+  const uint64_t origin = net_.RandomNode(rng);
+  const DhsPlacement p = client->PlaceItem(0xbeef);
+  auto count_holders = [&] {
+    int holders = 0;
+    for (uint64_t node : net_.NodeIds()) {
+      net_.StoreAt(node)->ForEachWithPrefix(
+          MakeDhsPrefix(4, p.rho), net_.now(),
+          [&](const std::string&, const StoreRecord&) { ++holders; });
+    }
+    return holders;
+  };
+  ASSERT_TRUE(client->Insert(origin, 4, 0xbeef, rng).ok());
+  net_.AdvanceClock(60);
+  ASSERT_TRUE(client->Insert(origin, 4, 0xbeef, rng).ok());  // refresh
+  net_.AdvanceClock(60);  // t = 120: the refreshed copy lives until 160
+  EXPECT_GE(count_holders(), 1);
+  net_.AdvanceClock(100);  // t = 220: everything has aged out
+  EXPECT_EQ(count_holders(), 0);
+}
+
+TEST_F(DhsClientTest, ReplicationStoresExtraCopies) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.replication = 3;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Rng rng(14);
+  ASSERT_TRUE(client->Insert(net_.RandomNode(rng), 6, 0x4, rng).ok());
+  const DhsPlacement p = client->PlaceItem(0x4);
+  const std::string prefix = MakeDhsPrefix(6, p.rho);
+  int holders = 0;
+  for (uint64_t node : net_.NodeIds()) {
+    net_.StoreAt(node)->ForEachWithPrefix(
+        prefix, net_.now(),
+        [&](const std::string&, const StoreRecord&) { ++holders; });
+  }
+  EXPECT_EQ(holders, 3);
+}
+
+TEST_F(DhsClientTest, CostReportIsConsistent) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 7, 30000, 21);
+  Rng rng(15);
+  net_.ResetStats();
+  const MessageStats before = net_.stats();
+  auto result = client->Count(net_.RandomNode(rng), 7, rng);
+  ASSERT_TRUE(result.ok());
+  const MessageStats delta = net_.stats() - before;
+  // The client's self-reported cost must agree with the network's books.
+  EXPECT_EQ(result->cost.bytes, delta.bytes);
+  EXPECT_EQ(static_cast<uint64_t>(result->cost.hops), delta.hops);
+  EXPECT_GE(result->cost.nodes_visited, result->cost.dht_lookups);
+  // Never more probes than lim per interval.
+  EXPECT_LE(result->cost.nodes_visited,
+            client->config().lim * (client->config().RhoBits() + 1));
+}
+
+TEST_F(DhsClientTest, ObservablesHaveOnePerBitmap) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kPcsa));
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 8, 30000, 31);
+  Rng rng(16);
+  auto result = client->Count(net_.RandomNode(rng), 8, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->observables.size(), 64u);
+  for (int m : result->observables) {
+    EXPECT_GE(m, 0);
+    EXPECT_LE(m, 25);
+  }
+}
+
+TEST_F(DhsClientTest, AdaptiveLimRescuesSmallSets) {
+  // n = 2000 items with m = 64 over 256 nodes: far below the n >= m*N
+  // density, where the flat lim = 5 misses most tuples. The §4.1
+  // adaptive budget (eq. 6) must recover a usable estimate.
+  constexpr uint64_t kN = 2000;
+  DhsConfig flat = Config(DhsEstimator::kHyperLogLog);
+  DhsConfig adaptive = flat;
+  adaptive.adaptive_lim = true;
+  adaptive.expected_cardinality = kN;
+
+  auto flat_client = DhsClient::Create(&net_, flat);
+  auto adaptive_client = DhsClient::Create(&net_, adaptive);
+  ASSERT_TRUE(flat_client.ok());
+  ASSERT_TRUE(adaptive_client.ok());
+  Populate(*flat_client, 11, kN, 71);  // shared state
+
+  Rng rng(18);
+  StreamingStats flat_error;
+  StreamingStats adaptive_error;
+  for (int t = 0; t < 6; ++t) {
+    auto a = flat_client->Count(net_.RandomNode(rng), 11, rng);
+    auto b = adaptive_client->Count(net_.RandomNode(rng), 11, rng);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    flat_error.Add(RelativeError(a->estimate, static_cast<double>(kN)));
+    adaptive_error.Add(RelativeError(b->estimate, static_cast<double>(kN)));
+  }
+  EXPECT_LT(adaptive_error.mean(), flat_error.mean());
+  EXPECT_LT(adaptive_error.mean(), 0.35);
+}
+
+TEST_F(DhsClientTest, AdaptiveLimDoesNotInflateDenseCounts) {
+  // At comfortable density eq. 6 yields ~the flat budget: cost must not
+  // blow up.
+  constexpr uint64_t kN = 60000;
+  DhsConfig flat = Config(DhsEstimator::kSuperLogLog);
+  DhsConfig adaptive = flat;
+  adaptive.adaptive_lim = true;
+  adaptive.expected_cardinality = kN;
+  auto flat_client = DhsClient::Create(&net_, flat);
+  auto adaptive_client = DhsClient::Create(&net_, adaptive);
+  ASSERT_TRUE(flat_client.ok());
+  ASSERT_TRUE(adaptive_client.ok());
+  Populate(*flat_client, 12, kN, 72);
+  Rng rng(19);
+  auto a = flat_client->Count(net_.RandomNode(rng), 12, rng);
+  auto b = adaptive_client->Count(net_.RandomNode(rng), 12, rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(b->cost.hops, 3 * a->cost.hops + 50);
+}
+
+TEST_F(DhsClientTest, SllSurvivesModerateFailures) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.replication = 2;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  constexpr uint64_t kN = 50000;
+  Populate(*client, 9, kN, 41);
+  Rng rng(17);
+  // Fail 10% of nodes abruptly.
+  auto ids = net_.NodeIds();
+  for (size_t i = 0; i < ids.size(); i += 10) {
+    ASSERT_TRUE(net_.FailNode(ids[i]).ok());
+  }
+  auto result = client->Count(net_.RandomNode(rng), 9, rng);
+  ASSERT_TRUE(result.ok());
+  // Failures can only lose bits (underestimate); with replication the
+  // estimate should stay within a factor of ~2.
+  EXPECT_GT(result->estimate, 0.3 * kN);
+  EXPECT_LT(result->estimate, 2.0 * kN);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,138 @@
+#include "dhs/maintainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "dht/chord.h"
+#include "hashing/hasher.h"
+
+namespace dhs {
+namespace {
+
+class MaintainerTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kTtl = 10;
+  static constexpr uint64_t kMetric = 1;
+  static constexpr uint64_t kItems = 30000;
+
+  void SetUp() override {
+    ChordConfig chord;
+    chord.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(chord);
+    Rng rng(1);
+    for (int i = 0; i < 128; ++i) ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+
+    DhsConfig config;
+    config.k = 24;
+    config.m = 32;
+    config.ttl_ticks = kTtl;
+    auto client = DhsClient::Create(net_.get(), config);
+    ASSERT_TRUE(client.ok());
+    client_ = std::make_unique<DhsClient>(std::move(client.value()));
+    maintainer_ = std::make_unique<DhsMaintainer>(client_.get());
+
+    // Spread items over nodes and register them with the maintainer.
+    Rng item_rng(2);
+    MixHasher hasher(3);
+    const auto nodes = net_->NodeIds();
+    for (uint64_t i = 0; i < kItems; ++i) {
+      const uint64_t node = nodes[item_rng.UniformU64(nodes.size())];
+      maintainer_->RegisterItem(node, kMetric, hasher.HashU64(i));
+    }
+  }
+
+  double CountNow(uint64_t seed) {
+    Rng rng(seed);
+    auto result = client_->Count(net_->RandomNode(rng), kMetric, rng);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result->estimate : -1.0;
+  }
+
+  std::unique_ptr<ChordNetwork> net_;
+  std::unique_ptr<DhsClient> client_;
+  std::unique_ptr<DhsMaintainer> maintainer_;
+};
+
+TEST_F(MaintainerTest, RegistrationsTracked) {
+  EXPECT_EQ(maintainer_->NumRegistrations(), kItems);
+}
+
+TEST_F(MaintainerTest, RefreshKeepsStateAliveIndefinitely) {
+  Rng rng(4);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  // Five TTL periods, refreshing every kTtl - 1 ticks.
+  for (int period = 0; period < 5; ++period) {
+    net_->AdvanceClock(kTtl - 1);
+    ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  }
+  EXPECT_LT(RelativeError(CountNow(5), static_cast<double>(kItems)), 0.5);
+}
+
+TEST_F(MaintainerTest, WithoutRefreshStateAgesOut) {
+  Rng rng(6);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  net_->AdvanceClock(kTtl);
+  EXPECT_EQ(CountNow(7), 0.0);
+}
+
+TEST_F(MaintainerTest, UnregisteredItemsFadeAfterTtl) {
+  Rng rng(8);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  // Every node drops its registrations for half the items: re-register
+  // from scratch with only even items.
+  MixHasher hasher(3);
+  for (uint64_t node : net_->NodeIds()) maintainer_->DropNode(node);
+  const auto nodes = net_->NodeIds();
+  Rng item_rng(2);
+  for (uint64_t i = 0; i < kItems; ++i) {
+    const uint64_t node = nodes[item_rng.UniformU64(nodes.size())];
+    if (i % 2 == 0) {
+      maintainer_->RegisterItem(node, kMetric, hasher.HashU64(i));
+    }
+  }
+  EXPECT_EQ(maintainer_->NumRegistrations(), kItems / 2);
+  // One TTL period with refreshes: only the kept half survives.
+  net_->AdvanceClock(kTtl - 1);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  net_->AdvanceClock(kTtl - 1);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  net_->AdvanceClock(2);  // pre-drop tuples (age kTtl+...) are gone now
+  const double estimate = CountNow(9);
+  EXPECT_LT(RelativeError(estimate, kItems / 2.0), 0.5);
+}
+
+TEST_F(MaintainerTest, SurvivesNodeDepartures) {
+  Rng rng(10);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  // A quarter of the nodes fail; their registry entries are dropped (the
+  // documents they held are gone for real).
+  auto ids = net_->NodeIds();
+  for (size_t i = 0; i < ids.size(); i += 4) {
+    ASSERT_TRUE(net_->FailNode(ids[i]).ok());
+    maintainer_->DropNode(ids[i]);
+  }
+  // Refresh rounds keep working for the surviving nodes.
+  net_->AdvanceClock(kTtl - 1);
+  auto rounds = maintainer_->RefreshRound(rng);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_GT(*rounds, 0u);
+  net_->AdvanceClock(kTtl - 1);
+  ASSERT_TRUE(maintainer_->RefreshRound(rng).ok());
+  // The count now reflects only surviving items (~3/4 of the original).
+  net_->AdvanceClock(2);
+  const double estimate = CountNow(11);
+  EXPECT_LT(estimate, 1.1 * kItems);
+  EXPECT_GT(estimate, 0.3 * kItems);
+}
+
+TEST_F(MaintainerTest, UnregisterSingleItem) {
+  maintainer_->UnregisterItem(12345, kMetric, 999);  // unknown: no-op
+  const uint64_t node = net_->NodeIds()[0];
+  maintainer_->RegisterItem(node, 7, 42);
+  EXPECT_EQ(maintainer_->NumRegistrations(), kItems + 1);
+  maintainer_->UnregisterItem(node, 7, 42);
+  EXPECT_EQ(maintainer_->NumRegistrations(), kItems);
+}
+
+}  // namespace
+}  // namespace dhs

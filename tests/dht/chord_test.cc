@@ -1,0 +1,198 @@
+#include "dht/chord.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dhs {
+namespace {
+
+ChordConfig FastConfig() {
+  ChordConfig config;
+  config.hasher = "mix";
+  return config;
+}
+
+TEST(ChordMembershipTest, AddAndContains) {
+  ChordNetwork net(FastConfig());
+  EXPECT_TRUE(net.AddNode(100).ok());
+  EXPECT_TRUE(net.Contains(100));
+  EXPECT_FALSE(net.Contains(101));
+  EXPECT_EQ(net.NumNodes(), 1u);
+}
+
+TEST(ChordMembershipTest, DuplicateAddFails) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(100).ok());
+  EXPECT_TRUE(net.AddNode(100).IsInvalidArgument());
+}
+
+TEST(ChordMembershipTest, AddNodeFromNameIsDeterministic) {
+  ChordNetwork a(FastConfig());
+  ChordNetwork b(FastConfig());
+  auto ida = a.AddNodeFromName("peer-1");
+  auto idb = b.AddNodeFromName("peer-1");
+  ASSERT_TRUE(ida.ok());
+  ASSERT_TRUE(idb.ok());
+  EXPECT_EQ(ida.value(), idb.value());
+}
+
+TEST(ChordMembershipTest, Md4NamesMatchPaperHash) {
+  ChordConfig config;  // default hasher: md4
+  ChordNetwork net(config);
+  auto id = net.AddNodeFromName("10.0.0.1:4001");
+  ASSERT_TRUE(id.ok());
+  Md4Hasher md4;
+  EXPECT_EQ(id.value(), md4.Hash("10.0.0.1:4001"));
+}
+
+TEST(ChordMembershipTest, NodeIdsSorted) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {50u, 10u, 90u}) ASSERT_TRUE(net.AddNode(id).ok());
+  EXPECT_EQ(net.NodeIds(), (std::vector<uint64_t>{10, 50, 90}));
+}
+
+TEST(ChordRingTest, ResponsibleNodeIsSuccessor) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());
+  EXPECT_EQ(net.ResponsibleNode(150).value(), 200u);
+  EXPECT_EQ(net.ResponsibleNode(200).value(), 200u);  // exact hit
+  EXPECT_EQ(net.ResponsibleNode(301).value(), 100u);  // wraps
+  EXPECT_EQ(net.ResponsibleNode(50).value(), 100u);
+}
+
+TEST(ChordRingTest, SuccessorPredecessorOfNode) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());
+  EXPECT_EQ(net.SuccessorOfNode(100).value(), 200u);
+  EXPECT_EQ(net.SuccessorOfNode(300).value(), 100u);  // wraps
+  EXPECT_EQ(net.PredecessorOfNode(100).value(), 300u);
+  EXPECT_EQ(net.PredecessorOfNode(200).value(), 100u);
+}
+
+TEST(ChordRingTest, SingleNodeIsItsOwnNeighbours) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(42).ok());
+  EXPECT_EQ(net.SuccessorOfNode(42).value(), 42u);
+  EXPECT_EQ(net.PredecessorOfNode(42).value(), 42u);
+  EXPECT_EQ(net.ResponsibleNode(7).value(), 42u);
+}
+
+TEST(ChordRingTest, EmptyNetworkFailsPrecondition) {
+  ChordNetwork net(FastConfig());
+  EXPECT_TRUE(net.ResponsibleNode(1).status().IsFailedPrecondition());
+  EXPECT_TRUE(net.SuccessorOfNode(1).status().IsFailedPrecondition());
+}
+
+TEST(ChordRingTest, CountNodesInRange) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());
+  EXPECT_EQ(net.CountNodesInRange(100, 300), 2u);  // [100, 300): 100, 200
+  EXPECT_EQ(net.CountNodesInRange(50, 350), 3u);
+  EXPECT_EQ(net.CountNodesInRange(150, 150), 0u);
+  // Wrapping range [250, 150): nodes 300 and 100.
+  EXPECT_EQ(net.CountNodesInRange(250, 150), 2u);
+}
+
+TEST(ChordDataTest, PutAndGetValue) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());
+  auto holder = net.Put(100, 150, "app-key", "payload", kNoExpiry);
+  ASSERT_TRUE(holder.ok());
+  EXPECT_EQ(holder.value(), 200u);  // successor of 150
+  auto value = net.GetValue(300, 150, "app-key");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), "payload");
+}
+
+TEST(ChordDataTest, GetMissingIsNotFound) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(1).ok());
+  EXPECT_TRUE(net.GetValue(1, 5, "nope").status().IsNotFound());
+}
+
+TEST(ChordDataTest, TtlExpiresViaClock) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(1).ok());
+  ASSERT_TRUE(net.Put(1, 5, "k", "v", 10).ok());
+  EXPECT_TRUE(net.GetValue(1, 5, "k").ok());
+  net.AdvanceClock(10);
+  EXPECT_TRUE(net.GetValue(1, 5, "k").status().IsNotFound());
+}
+
+TEST(ChordDataTest, JoinTakesOverKeys) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(100).ok());
+  ASSERT_TRUE(net.AddNode(300).ok());
+  // Key 150 currently owned by 300.
+  ASSERT_TRUE(net.Put(100, 150, "k", "v", kNoExpiry).ok());
+  EXPECT_NE(net.StoreAt(300)->Get("k", 0), nullptr);
+  // Node 200 joins and becomes responsible for (100, 200].
+  ASSERT_TRUE(net.AddNode(200).ok());
+  EXPECT_EQ(net.StoreAt(300)->Get("k", 0), nullptr);
+  EXPECT_NE(net.StoreAt(200)->Get("k", 0), nullptr);
+  // Lookups now resolve to the new owner.
+  EXPECT_EQ(net.GetValue(100, 150, "k").value(), "v");
+}
+
+TEST(ChordDataTest, GracefulLeaveHandsOverKeys) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());
+  ASSERT_TRUE(net.Put(100, 150, "k", "v", kNoExpiry).ok());
+  ASSERT_TRUE(net.RemoveNode(200).ok());
+  EXPECT_EQ(net.GetValue(100, 150, "k").value(), "v");  // now at 300
+  EXPECT_NE(net.StoreAt(300)->Get("k", 0), nullptr);
+}
+
+TEST(ChordDataTest, FailureLosesData) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());
+  ASSERT_TRUE(net.Put(100, 150, "k", "v", kNoExpiry).ok());
+  ASSERT_TRUE(net.FailNode(200).ok());
+  EXPECT_FALSE(net.Contains(200));
+  EXPECT_TRUE(net.GetValue(100, 150, "k").status().IsNotFound());
+}
+
+TEST(ChordDataTest, RemoveUnknownNodeIsNotFound) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(1).ok());
+  EXPECT_TRUE(net.RemoveNode(99).IsNotFound());
+  EXPECT_TRUE(net.FailNode(99).IsNotFound());
+}
+
+TEST(ChordStatsTest, LoadAccounting) {
+  ChordNetwork net(FastConfig());
+  Rng rng(1);
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(net.AddNode(rng.Next()).ok());
+  net.ResetLoads();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(net.Lookup(net.RandomNode(rng), rng.Next(), 8).ok());
+  }
+  uint64_t served = 0;
+  for (const auto& [id, load] : net.Loads()) served += load.served;
+  EXPECT_EQ(served, 100u);
+}
+
+TEST(ChordStatsTest, TotalStorageBytes) {
+  ChordNetwork net(FastConfig());
+  ASSERT_TRUE(net.AddNode(1).ok());
+  ASSERT_TRUE(net.AddNode(1ull << 63).ok());
+  ASSERT_TRUE(net.Put(1, 2, "abc", "1234", kNoExpiry).ok());
+  EXPECT_EQ(net.TotalStorageBytes(), 7u);
+}
+
+TEST(ChordStatsTest, RandomNodeIsUniformIsh) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {10u, 20u, 30u, 40u}) ASSERT_TRUE(net.AddNode(id).ok());
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 4000; ++i) {
+    counts[net.RandomNode(rng) / 10]++;
+  }
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_NEAR(counts[i], 1000, 150) << i;
+  }
+}
+
+}  // namespace
+}  // namespace dhs

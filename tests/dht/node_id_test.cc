@@ -1,0 +1,94 @@
+#include "dht/node_id.h"
+
+#include <gtest/gtest.h>
+
+namespace dhs {
+namespace {
+
+TEST(IdSpaceTest, MaskForVariousWidths) {
+  EXPECT_EQ(IdSpace(8).Mask(), 0xffu);
+  EXPECT_EQ(IdSpace(24).Mask(), 0xffffffu);
+  EXPECT_EQ(IdSpace(64).Mask(), ~uint64_t{0});
+}
+
+TEST(IdSpaceTest, ClampWraps) {
+  IdSpace space(8);
+  EXPECT_EQ(space.Clamp(256), 0u);
+  EXPECT_EQ(space.Clamp(257), 1u);
+  EXPECT_EQ(space.Clamp(255), 255u);
+}
+
+TEST(IdSpaceTest, DistanceIsClockwise) {
+  IdSpace space(8);
+  EXPECT_EQ(space.Distance(10, 20), 10u);
+  EXPECT_EQ(space.Distance(20, 10), 246u);  // wraps
+  EXPECT_EQ(space.Distance(5, 5), 0u);
+}
+
+TEST(IdSpaceTest, DistanceFullWidth) {
+  IdSpace space(64);
+  EXPECT_EQ(space.Distance(~uint64_t{0}, 0), 1u);
+  EXPECT_EQ(space.Distance(0, ~uint64_t{0}), ~uint64_t{0});
+}
+
+TEST(IdSpaceTest, AddWraps) {
+  IdSpace space(8);
+  EXPECT_EQ(space.Add(250, 10), 4u);
+  EXPECT_EQ(space.Add(0, 255), 255u);
+}
+
+TEST(IdSpaceTest, IntervalExclInclBasic) {
+  IdSpace space(8);
+  EXPECT_TRUE(space.InIntervalExclIncl(15, 10, 20));
+  EXPECT_TRUE(space.InIntervalExclIncl(20, 10, 20));   // hi inclusive
+  EXPECT_FALSE(space.InIntervalExclIncl(10, 10, 20));  // lo exclusive
+  EXPECT_FALSE(space.InIntervalExclIncl(21, 10, 20));
+}
+
+TEST(IdSpaceTest, IntervalExclInclWrapping) {
+  IdSpace space(8);
+  // (250, 5] wraps through zero.
+  EXPECT_TRUE(space.InIntervalExclIncl(255, 250, 5));
+  EXPECT_TRUE(space.InIntervalExclIncl(0, 250, 5));
+  EXPECT_TRUE(space.InIntervalExclIncl(5, 250, 5));
+  EXPECT_FALSE(space.InIntervalExclIncl(250, 250, 5));
+  EXPECT_FALSE(space.InIntervalExclIncl(6, 250, 5));
+  EXPECT_FALSE(space.InIntervalExclIncl(100, 250, 5));
+}
+
+TEST(IdSpaceTest, IntervalDegenerateIsWholeRing) {
+  IdSpace space(8);
+  // Chord convention: (a, a] is the whole ring (single-node case).
+  EXPECT_TRUE(space.InIntervalExclIncl(5, 10, 10));
+  EXPECT_TRUE(space.InIntervalExclIncl(10, 10, 10));
+}
+
+TEST(IdSpaceTest, IntervalExclExclBasic) {
+  IdSpace space(8);
+  EXPECT_TRUE(space.InIntervalExclExcl(15, 10, 20));
+  EXPECT_FALSE(space.InIntervalExclExcl(10, 10, 20));
+  EXPECT_FALSE(space.InIntervalExclExcl(20, 10, 20));
+}
+
+TEST(IdSpaceTest, IntervalExclExclWrapping) {
+  IdSpace space(8);
+  EXPECT_TRUE(space.InIntervalExclExcl(0, 250, 5));
+  EXPECT_FALSE(space.InIntervalExclExcl(5, 250, 5));
+  EXPECT_FALSE(space.InIntervalExclExcl(250, 250, 5));
+}
+
+TEST(IdSpaceTest, IntervalExclExclDegenerate) {
+  IdSpace space(8);
+  // (a, a) is everything except a.
+  EXPECT_TRUE(space.InIntervalExclExcl(5, 10, 10));
+  EXPECT_FALSE(space.InIntervalExclExcl(10, 10, 10));
+}
+
+TEST(IdSpaceTest, ToStringPadsHex) {
+  EXPECT_EQ(IdSpace(8).ToString(0xa), "0a");
+  EXPECT_EQ(IdSpace(24).ToString(0xa), "00000a");
+  EXPECT_EQ(IdSpace(64).ToString(0), "0000000000000000");
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "dht/chord.h"
+
+namespace dhs {
+namespace {
+
+ChordConfig FastConfig() {
+  ChordConfig config;
+  config.hasher = "mix";
+  return config;
+}
+
+class RouterTest : public ::testing::Test {
+ protected:
+  void Build(int n, uint64_t seed = 7) {
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(net_.AddNode(rng.Next()).ok());
+    }
+  }
+  ChordNetwork net_{FastConfig()};
+};
+
+TEST_F(RouterTest, LookupReachesResponsibleNode) {
+  Build(128);
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t key = rng.Next();
+    auto result = net_.Lookup(net_.RandomNode(rng), key);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->node, net_.ResponsibleNode(key).value());
+  }
+}
+
+TEST_F(RouterTest, SelfLookupIsZeroHops) {
+  Build(64);
+  // A node looking up a key it owns: key = its own ID.
+  const uint64_t node = net_.NodeIds()[10];
+  auto result = net_.Lookup(node, node);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->node, node);
+  EXPECT_EQ(result->hops, 0);
+}
+
+TEST_F(RouterTest, SingleNodeNetworkAlwaysZeroHops) {
+  ASSERT_TRUE(net_.AddNode(42).ok());
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    auto result = net_.Lookup(42, rng.Next());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->node, 42u);
+    EXPECT_EQ(result->hops, 0);
+  }
+}
+
+TEST_F(RouterTest, UnknownOriginRejected) {
+  Build(8);
+  EXPECT_TRUE(net_.Lookup(12345, 1).status().IsInvalidArgument());
+}
+
+TEST_F(RouterTest, HopCountIsLogarithmic) {
+  // Average hops must stay well under log2(N) and grow slowly with N.
+  double avg_256 = 0;
+  double avg_2048 = 0;
+  for (auto [n, avg] : {std::pair<int, double*>{256, &avg_256},
+                        std::pair<int, double*>{2048, &avg_2048}}) {
+    ChordNetwork net(FastConfig());
+    Rng rng(7);
+    for (int i = 0; i < n; ++i) ASSERT_TRUE(net.AddNode(rng.Next()).ok());
+    StreamingStats hops;
+    for (int i = 0; i < 2000; ++i) {
+      auto result = net.Lookup(net.RandomNode(rng), rng.Next());
+      ASSERT_TRUE(result.ok());
+      hops.Add(result->hops);
+    }
+    *avg = hops.mean();
+    EXPECT_LE(hops.mean(), std::log2(n)) << n;
+    EXPECT_GE(hops.mean(), 0.3 * std::log2(n)) << n;
+  }
+  EXPECT_GT(avg_2048, avg_256);  // grows with N
+  EXPECT_LT(avg_2048 - avg_256, 4.0);  // ... but only logarithmically
+}
+
+TEST_F(RouterTest, BytesChargedPerHop) {
+  Build(256);
+  Rng rng(2);
+  net_.ResetStats();
+  uint64_t expected_bytes = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto result = net_.Lookup(net_.RandomNode(rng), rng.Next(), 10);
+    ASSERT_TRUE(result.ok());
+    expected_bytes += static_cast<uint64_t>(result->hops) * 10;
+  }
+  EXPECT_EQ(net_.stats().bytes, expected_bytes);
+  EXPECT_EQ(net_.stats().messages, 100u);
+}
+
+TEST_F(RouterTest, DirectHopCharges) {
+  Build(16);
+  const auto ids = net_.NodeIds();
+  net_.ResetStats();
+  ASSERT_TRUE(net_.DirectHop(ids[0], ids[1], 25).ok());
+  EXPECT_EQ(net_.stats().hops, 1u);
+  EXPECT_EQ(net_.stats().bytes, 25u);
+  // Self-hop is free.
+  ASSERT_TRUE(net_.DirectHop(ids[0], ids[0], 25).ok());
+  EXPECT_EQ(net_.stats().hops, 1u);
+}
+
+TEST_F(RouterTest, DirectHopUnknownNodesRejected) {
+  Build(4);
+  EXPECT_TRUE(net_.DirectHop(999, net_.NodeIds()[0], 1).IsInvalidArgument());
+  EXPECT_TRUE(net_.DirectHop(net_.NodeIds()[0], 999, 1).IsInvalidArgument());
+}
+
+TEST_F(RouterTest, ChargeBytesAddsWithoutHops) {
+  Build(4);
+  net_.ResetStats();
+  net_.ChargeBytes(123);
+  EXPECT_EQ(net_.stats().bytes, 123u);
+  EXPECT_EQ(net_.stats().hops, 0u);
+}
+
+TEST_F(RouterTest, LookupsWorkAfterChurn) {
+  Build(128);
+  Rng rng(9);
+  // Fail a third of the nodes, then verify routing still terminates and
+  // reaches the (new) responsible node.
+  auto ids = net_.NodeIds();
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    ASSERT_TRUE(net_.FailNode(ids[i]).ok());
+  }
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t key = rng.Next();
+    auto result = net_.Lookup(net_.RandomNode(rng), key);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->node, net_.ResponsibleNode(key).value());
+  }
+}
+
+TEST_F(RouterTest, StatsAccumulateAcrossOperations) {
+  Build(64);
+  Rng rng(3);
+  net_.ResetStats();
+  auto r1 = net_.Lookup(net_.RandomNode(rng), rng.Next(), 4);
+  auto r2 = net_.Lookup(net_.RandomNode(rng), rng.Next(), 4);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(net_.stats().hops,
+            static_cast<uint64_t>(r1->hops) + static_cast<uint64_t>(r2->hops));
+  net_.ResetStats();
+  EXPECT_EQ(net_.stats().hops, 0u);
+}
+
+}  // namespace
+}  // namespace dhs

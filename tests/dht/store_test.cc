@@ -1,0 +1,139 @@
+#include "dht/store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dhs {
+namespace {
+
+TEST(NodeStoreTest, PutAndGet) {
+  NodeStore store;
+  store.Put(42, "key", "value", kNoExpiry);
+  const StoreRecord* rec = store.Get("key", 0);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->value, "value");
+  EXPECT_EQ(rec->dht_key, 42u);
+}
+
+TEST(NodeStoreTest, GetMissingReturnsNull) {
+  NodeStore store;
+  EXPECT_EQ(store.Get("nope", 0), nullptr);
+}
+
+TEST(NodeStoreTest, PutRefreshesValueAndExpiry) {
+  NodeStore store;
+  store.Put(1, "k", "v1", 100);
+  store.Put(2, "k", "v2", 200);
+  EXPECT_EQ(store.NumRecords(), 1u);
+  const StoreRecord* rec = store.Get("k", 150);
+  ASSERT_NE(rec, nullptr);  // refreshed expiry keeps it alive at t=150
+  EXPECT_EQ(rec->value, "v2");
+  EXPECT_EQ(rec->dht_key, 2u);
+}
+
+TEST(NodeStoreTest, ExpiredRecordTreatedAbsent) {
+  NodeStore store;
+  store.Put(1, "k", "v", 100);
+  EXPECT_NE(store.Get("k", 99), nullptr);
+  EXPECT_EQ(store.Get("k", 100), nullptr);  // expires_at <= now
+  EXPECT_EQ(store.NumRecords(), 0u);        // lazily erased
+}
+
+TEST(NodeStoreTest, ExpireUntilDropsOnlyOld) {
+  NodeStore store;
+  store.Put(1, "a", "", 50);
+  store.Put(1, "b", "", 150);
+  store.Put(1, "c", "", kNoExpiry);
+  EXPECT_EQ(store.ExpireUntil(100), 1u);
+  EXPECT_EQ(store.NumRecords(), 2u);
+  EXPECT_EQ(store.ExpireUntil(200), 1u);
+  EXPECT_EQ(store.NumRecords(), 1u);
+}
+
+TEST(NodeStoreTest, Erase) {
+  NodeStore store;
+  store.Put(1, "k", "", kNoExpiry);
+  EXPECT_TRUE(store.Erase("k"));
+  EXPECT_FALSE(store.Erase("k"));
+  EXPECT_EQ(store.NumRecords(), 0u);
+}
+
+TEST(NodeStoreTest, PrefixScanFindsAllMatches) {
+  NodeStore store;
+  store.Put(1, "ab1", "", kNoExpiry);
+  store.Put(1, "ab2", "", kNoExpiry);
+  store.Put(1, "ac3", "", kNoExpiry);
+  store.Put(1, "b", "", kNoExpiry);
+  std::vector<std::string> keys;
+  store.ForEachWithPrefix("ab", 0, [&](const std::string& k,
+                                       const StoreRecord&) {
+    keys.push_back(k);
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"ab1", "ab2"}));
+}
+
+TEST(NodeStoreTest, PrefixScanSkipsExpired) {
+  NodeStore store;
+  store.Put(1, "p1", "", 10);
+  store.Put(1, "p2", "", kNoExpiry);
+  int count = 0;
+  store.ForEachWithPrefix("p", 50,
+                          [&](const std::string&, const StoreRecord&) {
+                            ++count;
+                          });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(NodeStoreTest, PrefixScanEmptyPrefixSeesEverything) {
+  NodeStore store;
+  store.Put(1, "x", "", kNoExpiry);
+  store.Put(1, "y", "", kNoExpiry);
+  int count = 0;
+  store.ForEachWithPrefix("", 0,
+                          [&](const std::string&, const StoreRecord&) {
+                            ++count;
+                          });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(NodeStoreTest, MigrateIfMovesSelectedRecords) {
+  NodeStore src;
+  NodeStore dst;
+  src.Put(10, "low", "", kNoExpiry);
+  src.Put(90, "high", "", kNoExpiry);
+  src.MigrateIf([](uint64_t key) { return key < 50; }, dst);
+  EXPECT_EQ(src.NumRecords(), 1u);
+  EXPECT_EQ(dst.NumRecords(), 1u);
+  EXPECT_NE(dst.Get("low", 0), nullptr);
+  EXPECT_NE(src.Get("high", 0), nullptr);
+}
+
+TEST(NodeStoreTest, MigrateAll) {
+  NodeStore src;
+  NodeStore dst;
+  src.Put(1, "a", "va", kNoExpiry);
+  src.Put(2, "b", "vb", kNoExpiry);
+  dst.Put(3, "c", "vc", kNoExpiry);
+  src.MigrateAll(dst);
+  EXPECT_EQ(src.NumRecords(), 0u);
+  EXPECT_EQ(dst.NumRecords(), 3u);
+}
+
+TEST(NodeStoreTest, SizeBytesCountsKeysAndValues) {
+  NodeStore store;
+  store.Put(1, "abc", "12345", kNoExpiry);
+  EXPECT_EQ(store.SizeBytes(), 8u);
+  store.Put(1, "d", "", kNoExpiry);
+  EXPECT_EQ(store.SizeBytes(), 9u);
+}
+
+TEST(NodeStoreTest, ClearEmpties) {
+  NodeStore store;
+  store.Put(1, "a", "", kNoExpiry);
+  store.Clear();
+  EXPECT_EQ(store.NumRecords(), 0u);
+}
+
+}  // namespace
+}  // namespace dhs

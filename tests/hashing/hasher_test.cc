@@ -1,0 +1,93 @@
+#include "hashing/hasher.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dhs {
+namespace {
+
+template <typename HasherT>
+void ExpectUniformLowBits(const HasherT& hasher) {
+  // Bucket 64k hashes by their 4 low bits; each bucket should get ~1/16.
+  constexpr int kDraws = 65536;
+  std::vector<int> counts(16, 0);
+  for (uint64_t i = 0; i < kDraws; ++i) {
+    counts[hasher.HashU64ToBits(i, 4)]++;
+  }
+  const double expected = kDraws / 16.0;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(Md4HasherTest, Deterministic) {
+  Md4Hasher hasher;
+  EXPECT_EQ(hasher.Hash("x"), hasher.Hash("x"));
+  EXPECT_NE(hasher.Hash("x"), hasher.Hash("y"));
+}
+
+TEST(Md4HasherTest, HashU64MatchesByteEncoding) {
+  Md4Hasher hasher;
+  const uint64_t value = 0x0123456789abcdefULL;
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(value >> (8 * i));
+  EXPECT_EQ(hasher.HashU64(value), hasher.Hash(std::string_view(bytes, 8)));
+}
+
+TEST(Md4HasherTest, LowBitsAreUniform) {
+  ExpectUniformLowBits(Md4Hasher());
+}
+
+TEST(MixHasherTest, Deterministic) {
+  MixHasher hasher;
+  EXPECT_EQ(hasher.Hash("x"), hasher.Hash("x"));
+  EXPECT_NE(hasher.Hash("x"), hasher.Hash("y"));
+}
+
+TEST(MixHasherTest, SaltDecorrelates) {
+  MixHasher a(1);
+  MixHasher b(2);
+  int equal = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (a.HashU64(i) == b.HashU64(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(MixHasherTest, LowBitsAreUniform) {
+  ExpectUniformLowBits(MixHasher());
+}
+
+TEST(MixHasherTest, StringAndU64PathsDiffer) {
+  // They are different hash functions; just ensure both behave sanely.
+  MixHasher hasher;
+  EXPECT_NE(hasher.Hash("abc"), hasher.Hash("abd"));
+  EXPECT_NE(hasher.HashU64(1), hasher.HashU64(2));
+}
+
+TEST(HashToBitsTest, MasksCorrectly) {
+  MixHasher hasher;
+  for (int bits : {1, 8, 24, 63}) {
+    const uint64_t h = hasher.HashU64ToBits(12345, bits);
+    EXPECT_LT(h, uint64_t{1} << bits) << bits;
+  }
+}
+
+TEST(MakeHasherTest, FactoryNames) {
+  EXPECT_NE(MakeHasher("md4"), nullptr);
+  EXPECT_NE(MakeHasher("mix"), nullptr);
+  EXPECT_EQ(MakeHasher("sha1"), nullptr);
+  EXPECT_EQ(MakeHasher(""), nullptr);
+}
+
+TEST(MakeHasherTest, FactoryProducesWorkingHashers) {
+  auto md4 = MakeHasher("md4");
+  auto mix = MakeHasher("mix");
+  EXPECT_EQ(md4->Hash("abc"), Md4Hasher().Hash("abc"));
+  EXPECT_EQ(mix->Hash("abc"), MixHasher().Hash("abc"));
+}
+
+}  // namespace
+}  // namespace dhs

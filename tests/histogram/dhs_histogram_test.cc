@@ -1,0 +1,169 @@
+#include "dht/chord.h"
+#include "histogram/dhs_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "hashing/hasher.h"
+#include "relation/relation.h"
+
+namespace dhs {
+namespace {
+
+class DhsHistogramTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChordConfig chord;
+    chord.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(chord);
+    Rng rng(7);
+    for (int i = 0; i < 256; ++i) ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+    DhsConfig config;
+    config.k = 24;
+    config.m = 64;
+    config.estimator = DhsEstimator::kSuperLogLog;
+    auto client = DhsClient::Create(net_.get(), config);
+    ASSERT_TRUE(client.ok());
+    client_ = std::make_unique<DhsClient>(std::move(client.value()));
+  }
+
+  std::unique_ptr<ChordNetwork> net_;
+  std::unique_ptr<DhsClient> client_;
+};
+
+TEST_F(DhsHistogramTest, MetricIdsAreDistinctAndStable) {
+  DhsHistogram hist(client_.get(), HistogramSpec(1, 100, 10), 42);
+  std::set<uint64_t> metrics;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(metrics.insert(hist.MetricForBucket(i)).second);
+  }
+  DhsHistogram same(client_.get(), HistogramSpec(1, 100, 10), 42);
+  EXPECT_EQ(hist.MetricForBucket(3), same.MetricForBucket(3));
+  DhsHistogram other(client_.get(), HistogramSpec(1, 100, 10), 43);
+  EXPECT_NE(hist.MetricForBucket(3), other.MetricForBucket(3));
+}
+
+TEST_F(DhsHistogramTest, EmptyHistogramReconstructsZero) {
+  DhsHistogram hist(client_.get(), HistogramSpec(1, 100, 10), 1);
+  Rng rng(1);
+  auto result = hist.Reconstruct(net_->RandomNode(rng), rng);
+  ASSERT_TRUE(result.ok());
+  for (double b : result->buckets) EXPECT_EQ(b, 0.0);
+}
+
+TEST_F(DhsHistogramTest, ReconstructionTracksExactHistogram) {
+  // A 4-bucket histogram over a skewed relation; every bucket is dense
+  // enough for the lim guarantee (n_b >= m * N would need 16k per bucket;
+  // we use a large relation to keep even the tail bucket heavy).
+  RelationSpec spec;
+  spec.name = "R";
+  spec.num_tuples = 120000;
+  spec.domain_size = 40;
+  spec.zipf_theta = 0.7;
+  const Relation relation = RelationGenerator::Generate(spec, 3);
+  const HistogramSpec hspec(1, 40, 4);
+
+  DhsHistogram hist(client_.get(), hspec, 5);
+  Rng rng(2);
+  const auto assignment = AssignTuplesToNodes(relation, net_->NodeIds(), rng);
+  MixHasher hasher(11);
+  for (const auto& [node, tuples] : assignment) {
+    std::vector<std::pair<uint64_t, int64_t>> items;
+    items.reserve(tuples.size());
+    for (uint64_t t : tuples) {
+      items.emplace_back(hasher.HashU64(relation.TupleId(t)),
+                         relation.Value(t));
+    }
+    ASSERT_TRUE(hist.InsertBatch(node, items, rng).ok());
+  }
+
+  auto result = hist.Reconstruct(net_->RandomNode(rng), rng);
+  ASSERT_TRUE(result.ok());
+  const auto exact = BuildExactHistogram(relation, hspec);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_LT(RelativeError(result->buckets[i],
+                            static_cast<double>(exact[i])),
+              0.5)
+        << "bucket " << i;
+  }
+  // Shape: the Zipf head bucket must dominate the tail bucket.
+  EXPECT_GT(result->buckets[0], result->buckets[3]);
+}
+
+TEST_F(DhsHistogramTest, RangeReconstructionOnlyFillsRequested) {
+  RelationSpec spec;
+  spec.name = "S";
+  spec.num_tuples = 50000;
+  spec.domain_size = 40;
+  const Relation relation = RelationGenerator::Generate(spec, 4);
+  const HistogramSpec hspec(1, 40, 4);
+  DhsHistogram hist(client_.get(), hspec, 9);
+  Rng rng(3);
+  MixHasher hasher(12);
+  const auto assignment = AssignTuplesToNodes(relation, net_->NodeIds(), rng);
+  for (const auto& [node, tuples] : assignment) {
+    std::vector<std::pair<uint64_t, int64_t>> items;
+    for (uint64_t t : tuples) {
+      items.emplace_back(hasher.HashU64(relation.TupleId(t)),
+                         relation.Value(t));
+    }
+    ASSERT_TRUE(hist.InsertBatch(node, items, rng).ok());
+  }
+  // Values [1, 10] live in bucket 0 only.
+  auto result = hist.ReconstructRange(net_->RandomNode(rng), 1, 10, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->buckets[0], 0.0);
+  EXPECT_EQ(result->buckets[1], 0.0);
+  EXPECT_EQ(result->buckets[2], 0.0);
+  EXPECT_EQ(result->buckets[3], 0.0);
+}
+
+TEST_F(DhsHistogramTest, RangeOutsideDomainIsAllZero) {
+  DhsHistogram hist(client_.get(), HistogramSpec(1, 40, 4), 10);
+  Rng rng(4);
+  auto result = hist.ReconstructRange(net_->RandomNode(rng), 500, 600, rng);
+  ASSERT_TRUE(result.ok());
+  for (double b : result->buckets) EXPECT_EQ(b, 0.0);
+}
+
+TEST_F(DhsHistogramTest, ReconstructionCostIndependentOfBucketCount) {
+  // §4.3: reconstructing I buckets costs the same hops as one count.
+  RelationSpec spec;
+  spec.name = "T";
+  spec.num_tuples = 60000;
+  spec.domain_size = 100;
+  const Relation relation = RelationGenerator::Generate(spec, 5);
+  Rng rng(5);
+  MixHasher hasher(13);
+
+  DhsCostReport cost_few;
+  DhsCostReport cost_many;
+  for (auto [buckets, cost] :
+       {std::pair<int, DhsCostReport*>{2, &cost_few},
+        std::pair<int, DhsCostReport*>{20, &cost_many}}) {
+    DhsHistogram hist(client_.get(), HistogramSpec(1, 100, buckets),
+                      100 + buckets);
+    const auto assignment =
+        AssignTuplesToNodes(relation, net_->NodeIds(), rng);
+    for (const auto& [node, tuples] : assignment) {
+      std::vector<std::pair<uint64_t, int64_t>> items;
+      for (uint64_t t : tuples) {
+        items.emplace_back(hasher.HashU64(relation.TupleId(t)),
+                           relation.Value(t));
+      }
+      ASSERT_TRUE(hist.InsertBatch(node, items, rng).ok());
+    }
+    auto result = hist.Reconstruct(net_->RandomNode(rng), rng);
+    ASSERT_TRUE(result.ok());
+    *cost = result->cost;
+  }
+  // Hop cost must not scale with bucket count (allow 2x noise).
+  EXPECT_LT(cost_many.hops, 2.0 * cost_few.hops + 20);
+  // Bytes DO grow with buckets (more per-probe payload) — sanity check.
+  EXPECT_GT(cost_many.bytes, cost_few.bytes);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,118 @@
+#include "histogram/equi_width.h"
+
+#include <gtest/gtest.h>
+
+#include "relation/relation.h"
+
+namespace dhs {
+namespace {
+
+TEST(HistogramSpecTest, BucketWidth) {
+  HistogramSpec spec(1, 1000, 100);
+  EXPECT_EQ(spec.bucket_width(), 10);
+  EXPECT_EQ(spec.num_buckets(), 100);
+}
+
+TEST(HistogramSpecTest, BucketOfBoundaries) {
+  HistogramSpec spec(1, 1000, 100);
+  EXPECT_EQ(spec.BucketOf(1), 0);
+  EXPECT_EQ(spec.BucketOf(10), 0);
+  EXPECT_EQ(spec.BucketOf(11), 1);
+  EXPECT_EQ(spec.BucketOf(1000), 99);
+}
+
+TEST(HistogramSpecTest, OutOfDomainClamps) {
+  HistogramSpec spec(1, 1000, 100);
+  EXPECT_EQ(spec.BucketOf(0), 0);
+  EXPECT_EQ(spec.BucketOf(-50), 0);
+  EXPECT_EQ(spec.BucketOf(5000), 99);
+}
+
+TEST(HistogramSpecTest, BucketBoundsRoundTrip) {
+  HistogramSpec spec(1, 1000, 100);
+  for (int i = 0; i < 100; ++i) {
+    const auto [lo, hi] = spec.BucketBounds(i);
+    EXPECT_EQ(spec.BucketOf(lo), i);
+    EXPECT_EQ(spec.BucketOf(hi), i);
+    EXPECT_EQ(hi - lo + 1, 10);
+  }
+}
+
+TEST(HistogramSpecTest, UnevenDomainLastBucketAbsorbsRemainder) {
+  HistogramSpec spec(1, 105, 10);  // width 10, last bucket [91, 105]
+  EXPECT_EQ(spec.bucket_width(), 10);
+  const auto [lo, hi] = spec.BucketBounds(9);
+  EXPECT_EQ(lo, 91);
+  EXPECT_EQ(hi, 105);
+  EXPECT_EQ(spec.BucketOf(105), 9);
+  EXPECT_EQ(spec.BucketOf(101), 9);
+}
+
+TEST(HistogramSpecTest, SingleBucketCoversEverything) {
+  HistogramSpec spec(5, 10, 1);
+  EXPECT_EQ(spec.BucketOf(5), 0);
+  EXPECT_EQ(spec.BucketOf(10), 0);
+  const auto [lo, hi] = spec.BucketBounds(0);
+  EXPECT_EQ(lo, 5);
+  EXPECT_EQ(hi, 10);
+}
+
+TEST(HistogramSpecTest, MoreBucketsThanValues) {
+  HistogramSpec spec(1, 5, 10);  // width clamps to 1
+  EXPECT_EQ(spec.bucket_width(), 1);
+  EXPECT_EQ(spec.BucketOf(3), 2);
+}
+
+TEST(BuildExactHistogramTest, CountsMatchRelation) {
+  RelationSpec rel_spec;
+  rel_spec.name = "T";
+  rel_spec.num_tuples = 10000;
+  rel_spec.domain_size = 100;
+  rel_spec.zipf_theta = 0.7;
+  const Relation relation = RelationGenerator::Generate(rel_spec, 1);
+  HistogramSpec spec(1, 100, 10);
+  const auto buckets = BuildExactHistogram(relation, spec);
+  ASSERT_EQ(buckets.size(), 10u);
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const auto [lo, hi] = spec.BucketBounds(static_cast<int>(i));
+    EXPECT_EQ(buckets[i], relation.CountValueRange(lo, hi)) << i;
+    total += buckets[i];
+  }
+  EXPECT_EQ(total, relation.NumTuples());
+  // Zipf: the first bucket dominates.
+  EXPECT_GT(buckets[0], buckets[9]);
+}
+
+TEST(EstimateRangeTest, FullRangeIsTotal) {
+  HistogramSpec spec(1, 100, 10);
+  std::vector<double> buckets(10, 50.0);
+  EXPECT_NEAR(EstimateRangeFromHistogram(buckets, spec, 1, 100), 500.0,
+              1e-9);
+}
+
+TEST(EstimateRangeTest, PartialBucketInterpolates) {
+  HistogramSpec spec(1, 100, 10);
+  std::vector<double> buckets(10, 50.0);
+  // [1, 5] covers half of bucket 0.
+  EXPECT_NEAR(EstimateRangeFromHistogram(buckets, spec, 1, 5), 25.0, 1e-9);
+  // [6, 15]: half of bucket 0 + half of bucket 1.
+  EXPECT_NEAR(EstimateRangeFromHistogram(buckets, spec, 6, 15), 50.0, 1e-9);
+}
+
+TEST(EstimateRangeTest, EmptyAndInvertedRanges) {
+  HistogramSpec spec(1, 100, 10);
+  std::vector<double> buckets(10, 50.0);
+  EXPECT_EQ(EstimateRangeFromHistogram(buckets, spec, 50, 40), 0.0);
+  EXPECT_EQ(EstimateRangeFromHistogram(buckets, spec, 200, 300), 0.0);
+}
+
+TEST(EstimateRangeTest, ClampsToDomain) {
+  HistogramSpec spec(1, 100, 10);
+  std::vector<double> buckets(10, 50.0);
+  EXPECT_NEAR(EstimateRangeFromHistogram(buckets, spec, -100, 200), 500.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace dhs

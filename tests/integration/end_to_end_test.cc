@@ -1,0 +1,200 @@
+// Full-pipeline integration test: a miniature version of the paper's §5
+// evaluation — relations on a Chord overlay, DHS insertion, distributed
+// counting, histogram reconstruction, and histogram-driven join ordering.
+
+#include "dht/chord.h"
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/stats.h"
+#include "dhs/client.h"
+#include "hashing/hasher.h"
+#include "histogram/dhs_histogram.h"
+#include "queryopt/optimizer.h"
+#include "relation/relation.h"
+
+namespace dhs {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static constexpr int kNodes = 256;
+  static constexpr int kBitmaps = 64;
+  static constexpr int kBuckets = 10;
+
+  void SetUp() override {
+    ChordConfig chord;
+    chord.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(chord);
+    Rng rng(1);
+    for (int i = 0; i < kNodes; ++i) {
+      ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+    }
+    DhsConfig config;
+    config.k = 24;
+    config.m = kBitmaps;
+    config.estimator = DhsEstimator::kSuperLogLog;
+    auto client = DhsClient::Create(net_.get(), config);
+    ASSERT_TRUE(client.ok());
+    client_ = std::make_unique<DhsClient>(std::move(client.value()));
+  }
+
+  // Generates a relation, spreads it over the overlay, and records every
+  // tuple both under the relation's cardinality metric and its histogram.
+  Relation LoadRelation(const std::string& name, uint64_t tuples,
+                        uint64_t metric, DhsHistogram* hist, Rng& rng) {
+    RelationSpec spec;
+    spec.name = name;
+    spec.num_tuples = tuples;
+    spec.domain_size = 100;
+    spec.zipf_theta = 0.7;
+    Relation relation = RelationGenerator::Generate(spec, metric);
+    MixHasher hasher(metric * 31);
+    const auto assignment =
+        AssignTuplesToNodes(relation, net_->NodeIds(), rng);
+    for (const auto& [node, tuple_ids] : assignment) {
+      std::vector<uint64_t> hashes;
+      std::vector<std::pair<uint64_t, int64_t>> items;
+      hashes.reserve(tuple_ids.size());
+      for (uint64_t t : tuple_ids) {
+        const uint64_t h = hasher.HashU64(relation.TupleId(t));
+        hashes.push_back(h);
+        items.emplace_back(h, relation.Value(t));
+      }
+      EXPECT_TRUE(client_->InsertBatch(node, metric, hashes, rng).ok());
+      if (hist != nullptr) {
+        EXPECT_TRUE(hist->InsertBatch(node, items, rng).ok());
+      }
+    }
+    return relation;
+  }
+
+  std::unique_ptr<ChordNetwork> net_;
+  std::unique_ptr<DhsClient> client_;
+};
+
+TEST_F(EndToEndTest, RelationCardinalitiesWithPreservedRatios) {
+  // Q : R = 1 : 2 (the paper's geometric relation sizes).
+  Rng rng(2);
+  LoadRelation("Q", 30000, 1, nullptr, rng);
+  LoadRelation("R", 60000, 2, nullptr, rng);
+  auto q = client_->Count(net_->RandomNode(rng), 1, rng);
+  auto r = client_->Count(net_->RandomNode(rng), 2, rng);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(RelativeError(q->estimate, 30000), 0.45);
+  EXPECT_LT(RelativeError(r->estimate, 60000), 0.45);
+  // The 2x ratio must be clearly visible.
+  EXPECT_GT(r->estimate / q->estimate, 1.3);
+}
+
+TEST_F(EndToEndTest, HistogramDrivenOptimizerFindsGoodPlan) {
+  Rng rng(3);
+  const HistogramSpec hspec(1, 100, kBuckets);
+
+  struct Loaded {
+    Relation relation;
+    DhsHistogram::Reconstruction reconstruction;
+  };
+  std::vector<JoinInput> estimated_inputs;
+  std::vector<JoinInput> exact_inputs;
+  uint64_t sizes[3] = {20000, 40000, 80000};
+  const char* names[3] = {"Q", "R", "S"};
+  for (int i = 0; i < 3; ++i) {
+    DhsHistogram hist(client_.get(), hspec, 1000 + static_cast<uint64_t>(i));
+    const Relation relation = LoadRelation(
+        names[i], sizes[i], 10 + static_cast<uint64_t>(i), &hist, rng);
+    auto reconstruction = hist.Reconstruct(net_->RandomNode(rng), rng);
+    ASSERT_TRUE(reconstruction.ok());
+
+    estimated_inputs.push_back(
+        JoinInput{names[i],
+                  AttributeStats{hspec, reconstruction->buckets},
+                  1024});
+    const auto exact = BuildExactHistogram(relation, hspec);
+    exact_inputs.push_back(
+        JoinInput{names[i],
+                  AttributeStats{hspec,
+                                 std::vector<double>(exact.begin(),
+                                                     exact.end())},
+                  1024});
+  }
+
+  JoinQuery estimated{estimated_inputs};
+  JoinQuery exact{exact_inputs};
+  JoinOptimizer est_optimizer(&estimated);
+  JoinOptimizer true_optimizer(&exact);
+
+  // Order chosen from DHS histograms, evaluated under the exact stats.
+  auto chosen = est_optimizer.Best();
+  ASSERT_TRUE(chosen.ok());
+  auto chosen_true_cost = true_optimizer.Evaluate(chosen->order);
+  ASSERT_TRUE(chosen_true_cost.ok());
+
+  auto best_true = true_optimizer.Best();
+  auto worst_true = true_optimizer.Worst();
+  ASSERT_TRUE(best_true.ok());
+  ASSERT_TRUE(worst_true.ok());
+
+  // The DHS-informed plan must be close to optimal and far from worst.
+  EXPECT_LT(chosen_true_cost->transfer_bytes,
+            1.25 * best_true->transfer_bytes);
+  EXPECT_LT(chosen_true_cost->transfer_bytes,
+            0.9 * worst_true->transfer_bytes);
+}
+
+TEST_F(EndToEndTest, HistogramReconstructionIsCheapVsDataTransfer) {
+  Rng rng(4);
+  const HistogramSpec hspec(1, 100, kBuckets);
+  DhsHistogram hist(client_.get(), hspec, 77);
+  const Relation relation = LoadRelation("T", 50000, 20, &hist, rng);
+
+  net_->ResetStats();
+  auto reconstruction = hist.Reconstruct(net_->RandomNode(rng), rng);
+  ASSERT_TRUE(reconstruction.ok());
+  const uint64_t reconstruction_bytes = net_->stats().bytes;
+  // §5.2: reconstruction costs orders of magnitude less than shipping a
+  // relation (50000 tuples x 1 kB = 51 MB).
+  EXPECT_LT(reconstruction_bytes, relation.TotalBytes() / 100);
+}
+
+TEST_F(EndToEndTest, InsertionCostsMatchPaperModel) {
+  Rng rng(5);
+  net_->ResetStats();
+  MixHasher hasher(9);
+  constexpr int kInserts = 2000;
+  for (int i = 0; i < kInserts; ++i) {
+    ASSERT_TRUE(client_
+                    ->Insert(net_->RandomNode(rng), 30,
+                             hasher.HashU64(static_cast<uint64_t>(i)), rng)
+                    .ok());
+  }
+  const double avg_hops =
+      static_cast<double>(net_->stats().hops) / kInserts;
+  const double avg_bytes =
+      static_cast<double>(net_->stats().bytes) / kInserts;
+  // O(log N) hops: ~0.5 log2(256) .. log2(256).
+  EXPECT_GT(avg_hops, 2.0);
+  EXPECT_LT(avg_hops, 8.0);
+  // O(b log N) bytes with b = 8.
+  EXPECT_GT(avg_bytes, 8.0);
+  EXPECT_LT(avg_bytes, 80.0);
+}
+
+TEST_F(EndToEndTest, PerNodeStorageIsBalanced) {
+  Rng rng(6);
+  LoadRelation("U", 100000, 40, nullptr, rng);
+  SampleStats per_node;
+  for (uint64_t node : net_->NodeIds()) {
+    per_node.Add(static_cast<double>(net_->StoreAt(node)->NumRecords()));
+  }
+  // The thr() mapping spreads load: the busiest node should hold well
+  // under 20x the median (one-node-per-counter would be ~N x).
+  EXPECT_LT(per_node.max(), 20 * per_node.Median() + 20);
+  EXPECT_GT(per_node.Median(), 0.0);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,224 @@
+// Fault-tolerance integration tests (§3.5): abrupt node failures,
+// replication of DHS bits, the bit-shift mapping rule, and soft-state
+// churn behaviour.
+
+#include "dht/chord.h"
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/stats.h"
+#include "dhs/client.h"
+#include "hashing/hasher.h"
+
+namespace dhs {
+namespace {
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kItems = 60000;
+
+  void SetUp() override {
+    ChordConfig chord;
+    chord.hasher = "mix";
+    net_ = std::make_unique<ChordNetwork>(chord);
+    Rng rng(11);
+    for (int i = 0; i < 256; ++i) ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+  }
+
+  DhsClient MakeClient(int replication, int shift = 0) {
+    DhsConfig config;
+    config.k = 24;
+    config.m = 64;
+    config.estimator = DhsEstimator::kSuperLogLog;
+    config.replication = replication;
+    config.shift_bits = shift;
+    auto client = DhsClient::Create(net_.get(), config);
+    EXPECT_TRUE(client.ok());
+    return std::move(client.value());
+  }
+
+  void Populate(DhsClient& client, uint64_t metric) {
+    Rng rng(22);
+    MixHasher hasher(metric);
+    std::vector<uint64_t> batch;
+    for (uint64_t i = 0; i < kItems; ++i) {
+      batch.push_back(hasher.HashU64(i));
+      if (batch.size() == 250) {
+        ASSERT_TRUE(
+            client.InsertBatch(net_->RandomNode(rng), metric, batch, rng)
+                .ok());
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      ASSERT_TRUE(
+          client.InsertBatch(net_->RandomNode(rng), metric, batch, rng)
+              .ok());
+    }
+  }
+
+  void FailFraction(double fraction, uint64_t seed) {
+    Rng rng(seed);
+    auto ids = net_->NodeIds();
+    for (uint64_t id : ids) {
+      if (net_->NumNodes() <= 8) break;
+      if (rng.Bernoulli(fraction)) {
+        ASSERT_TRUE(net_->FailNode(id).ok());
+      }
+    }
+  }
+
+  std::unique_ptr<ChordNetwork> net_;
+};
+
+TEST_F(FaultToleranceTest, CountingSurvivesGracefulDepartures) {
+  DhsClient client = MakeClient(1);
+  Populate(client, 1);
+  // Graceful leaves hand data to successors: no information is lost.
+  Rng rng(1);
+  auto ids = net_->NodeIds();
+  for (size_t i = 0; i < ids.size(); i += 4) {
+    ASSERT_TRUE(net_->RemoveNode(ids[i]).ok());
+  }
+  auto result = client.Count(net_->RandomNode(rng), 1, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(RelativeError(result->estimate, static_cast<double>(kItems)),
+            0.5);
+}
+
+TEST_F(FaultToleranceTest, ReplicationMitigatesFailures) {
+  DhsClient unreplicated = MakeClient(1);
+  DhsClient replicated = MakeClient(3);
+  Populate(unreplicated, 1);
+  Populate(replicated, 2);
+
+  // Compare each metric's post-failure estimate with its own pre-failure
+  // estimate, so the per-sketch statistical realization cancels out and
+  // only the failure-induced degradation remains.
+  Rng rng(2);
+  auto mean_estimate = [&](DhsClient& client, uint64_t metric) {
+    StreamingStats estimates;
+    for (int t = 0; t < 6; ++t) {
+      auto result = client.Count(net_->RandomNode(rng), metric, rng);
+      EXPECT_TRUE(result.ok());
+      estimates.Add(result->estimate);
+    }
+    return estimates.mean();
+  };
+  const double plain_before = mean_estimate(unreplicated, 1);
+  const double repl_before = mean_estimate(replicated, 2);
+  FailFraction(0.25, 33);
+  const double plain_after = mean_estimate(unreplicated, 1);
+  const double repl_after = mean_estimate(replicated, 2);
+
+  const double plain_degradation =
+      RelativeError(plain_after, plain_before);
+  const double repl_degradation = RelativeError(repl_after, repl_before);
+  EXPECT_LT(repl_degradation, plain_degradation + 0.05);
+  EXPECT_LT(repl_degradation, 0.4);
+}
+
+TEST_F(FaultToleranceTest, BitShiftRuleStillCountsLargeSets) {
+  // shift = 6: only cardinalities above ~2^6 are measurable, but high
+  // bits land in larger intervals (cheaper to make fault tolerant).
+  DhsClient shifted = MakeClient(1, /*shift=*/6);
+  Populate(shifted, 3);
+  Rng rng(3);
+  auto result = shifted.Count(net_->RandomNode(rng), 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(RelativeError(result->estimate, static_cast<double>(kItems)),
+            0.5);
+}
+
+TEST_F(FaultToleranceTest, BitShiftReducesStoredTuples) {
+  DhsClient plain = MakeClient(1, 0);
+  DhsClient shifted = MakeClient(1, 6);
+  const size_t before = net_->TotalStorageBytes();
+  Populate(plain, 4);
+  const size_t plain_bytes = net_->TotalStorageBytes() - before;
+  Populate(shifted, 5);
+  const size_t shifted_bytes =
+      net_->TotalStorageBytes() - before - plain_bytes;
+  // Bits 0..5 (the overwhelming majority of items) are never stored.
+  EXPECT_LT(shifted_bytes, plain_bytes / 4);
+}
+
+TEST_F(FaultToleranceTest, SoftStateRecoversAfterChurnAndRefresh) {
+  DhsConfig config;
+  config.k = 24;
+  config.m = 64;
+  config.ttl_ticks = 100;
+  auto client_or = DhsClient::Create(net_.get(), config);
+  ASSERT_TRUE(client_or.ok());
+  DhsClient client = std::move(client_or.value());
+
+  Populate(client, 6);
+  net_->AdvanceClock(100);  // everything ages out
+  Rng rng(4);
+  auto stale = client.Count(net_->RandomNode(rng), 6, rng);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->estimate, 0.0);
+
+  Populate(client, 6);  // refresh round re-establishes the sketch
+  auto fresh = client.Count(net_->RandomNode(rng), 6, rng);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_LT(RelativeError(fresh->estimate, static_cast<double>(kItems)),
+            0.5);
+}
+
+TEST_F(FaultToleranceTest, FailuresOnlyCauseUnderestimation) {
+  DhsClient client = MakeClient(1);
+  Populate(client, 7);
+  Rng rng(5);
+  auto before = client.Count(net_->RandomNode(rng), 7, rng);
+  ASSERT_TRUE(before.ok());
+  FailFraction(0.3, 44);
+  // Average a few counts: losing bits can only lower the sLL max-rho.
+  StreamingStats after;
+  for (int t = 0; t < 6; ++t) {
+    auto result = client.Count(net_->RandomNode(rng), 7, rng);
+    ASSERT_TRUE(result.ok());
+    after.Add(result->estimate);
+  }
+  EXPECT_LT(after.mean(), 1.15 * before->estimate);
+}
+
+TEST_F(FaultToleranceTest, MissProbabilityDropsWithReplication) {
+  // Validates the paper's p_f^R replica-loss argument on the actual
+  // store: after failing 20% of nodes, count how many logical tuples
+  // survive with and without replication.
+  auto count_coordinates = [&](uint64_t metric) {
+    std::set<std::string> coords;
+    for (uint64_t node : net_->NodeIds()) {
+      std::string prefix = "D";
+      for (int i = 7; i >= 0; --i) {
+        prefix.push_back(static_cast<char>((metric >> (8 * i)) & 0xff));
+      }
+      net_->StoreAt(node)->ForEachWithPrefix(
+          prefix, net_->now(),
+          [&](const std::string& key, const StoreRecord&) {
+            coords.insert(key);
+          });
+    }
+    return coords.size();
+  };
+
+  DhsClient unreplicated = MakeClient(1);
+  DhsClient replicated = MakeClient(3);
+  Populate(unreplicated, 8);
+  Populate(replicated, 9);
+  const size_t plain_before = count_coordinates(8);
+  const size_t repl_before = count_coordinates(9);
+  FailFraction(0.2, 55);
+  const double plain_survival =
+      static_cast<double>(count_coordinates(8)) / plain_before;
+  const double repl_survival =
+      static_cast<double>(count_coordinates(9)) / repl_before;
+  EXPECT_GT(repl_survival, plain_survival);
+  EXPECT_GT(repl_survival, 0.95);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,148 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dhs {
+namespace {
+
+RelationSpec SmallSpec() {
+  RelationSpec spec;
+  spec.name = "Q";
+  spec.num_tuples = 10000;
+  spec.min_value = 1;
+  spec.domain_size = 100;
+  spec.zipf_theta = 0.7;
+  spec.tuple_bytes = 1024;
+  return spec;
+}
+
+TEST(RelationGeneratorTest, GeneratesRequestedTuples) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 1);
+  EXPECT_EQ(relation.NumTuples(), 10000u);
+  EXPECT_EQ(relation.TotalBytes(), 10000u * 1024u);
+}
+
+TEST(RelationGeneratorTest, DeterministicForSeed) {
+  const Relation a = RelationGenerator::Generate(SmallSpec(), 1);
+  const Relation b = RelationGenerator::Generate(SmallSpec(), 1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Value(i), b.Value(i));
+    EXPECT_EQ(a.TupleId(i), b.TupleId(i));
+  }
+}
+
+TEST(RelationGeneratorTest, DifferentSeedsDiffer) {
+  const Relation a = RelationGenerator::Generate(SmallSpec(), 1);
+  const Relation b = RelationGenerator::Generate(SmallSpec(), 2);
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (a.Value(i) == b.Value(i)) ++same;
+  }
+  EXPECT_LT(same, 1000);
+}
+
+TEST(RelationTest, ValuesWithinDomain) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 3);
+  for (uint64_t i = 0; i < relation.NumTuples(); ++i) {
+    EXPECT_GE(relation.Value(i), 1);
+    EXPECT_LE(relation.Value(i), 100);
+  }
+}
+
+TEST(RelationTest, MinValueOffsetApplied) {
+  RelationSpec spec = SmallSpec();
+  spec.min_value = 500;
+  const Relation relation = RelationGenerator::Generate(spec, 3);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_GE(relation.Value(i), 500);
+    EXPECT_LE(relation.Value(i), 599);
+  }
+}
+
+TEST(RelationTest, TupleIdsAreUnique) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 4);
+  std::set<uint64_t> ids;
+  for (uint64_t i = 0; i < relation.NumTuples(); ++i) {
+    EXPECT_TRUE(ids.insert(relation.TupleId(i)).second) << i;
+  }
+}
+
+TEST(RelationTest, TupleIdsDifferAcrossRelations) {
+  RelationSpec q = SmallSpec();
+  RelationSpec r = SmallSpec();
+  r.name = "R";
+  const Relation rel_q = RelationGenerator::Generate(q, 1);
+  const Relation rel_r = RelationGenerator::Generate(r, 1);
+  std::set<uint64_t> ids;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ids.insert(rel_q.TupleId(i));
+    ids.insert(rel_r.TupleId(i));
+  }
+  EXPECT_EQ(ids.size(), 2000u);
+}
+
+TEST(RelationTest, ValueCountsSumToTuples) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 5);
+  uint64_t total = 0;
+  for (uint64_t c : relation.ValueCounts()) total += c;
+  EXPECT_EQ(total, relation.NumTuples());
+}
+
+TEST(RelationTest, ZipfSkewShowsInCounts) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 6);
+  const auto& counts = relation.ValueCounts();
+  // Value 1 must be the most frequent under Zipf(0.7).
+  for (size_t v = 1; v < counts.size(); ++v) {
+    EXPECT_GE(counts[0] + 50, counts[v]);  // allow sampling noise
+  }
+  EXPECT_GT(counts[0], counts[counts.size() - 1]);
+}
+
+TEST(RelationTest, CountValueRange) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 7);
+  EXPECT_EQ(relation.CountValueRange(1, 100), relation.NumTuples());
+  const uint64_t lo_half = relation.CountValueRange(1, 50);
+  const uint64_t hi_half = relation.CountValueRange(51, 100);
+  EXPECT_EQ(lo_half + hi_half, relation.NumTuples());
+  EXPECT_GT(lo_half, hi_half);  // Zipf skew
+}
+
+TEST(RelationTest, CountValueRangeEdges) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 8);
+  EXPECT_EQ(relation.CountValueRange(50, 40), 0u);
+  EXPECT_EQ(relation.CountValueRange(200, 300), 0u);
+  EXPECT_EQ(relation.CountValueRange(-10, 0), 0u);
+  // Out-of-domain bounds clamp.
+  EXPECT_EQ(relation.CountValueRange(-10, 200), relation.NumTuples());
+}
+
+TEST(AssignTuplesTest, EveryTupleAssignedExactlyOnce) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 9);
+  Rng rng(1);
+  std::vector<uint64_t> nodes = {10, 20, 30, 40};
+  const auto assignment = AssignTuplesToNodes(relation, nodes, rng);
+  ASSERT_EQ(assignment.size(), 4u);
+  std::set<uint64_t> seen;
+  for (const auto& [node, tuples] : assignment) {
+    for (uint64_t t : tuples) {
+      EXPECT_TRUE(seen.insert(t).second);
+      EXPECT_LT(t, relation.NumTuples());
+    }
+  }
+  EXPECT_EQ(seen.size(), relation.NumTuples());
+}
+
+TEST(AssignTuplesTest, RoughlyBalanced) {
+  const Relation relation = RelationGenerator::Generate(SmallSpec(), 10);
+  Rng rng(2);
+  std::vector<uint64_t> nodes = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto assignment = AssignTuplesToNodes(relation, nodes, rng);
+  for (const auto& [node, tuples] : assignment) {
+    EXPECT_NEAR(tuples.size(), 1250, 200);
+  }
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,83 @@
+#include "sketch/rho.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dhs {
+namespace {
+
+TEST(RhoTest, ZeroSaturatesToBits) {
+  EXPECT_EQ(Rho(0, 24), 24);
+  EXPECT_EQ(Rho(0, 8), 8);
+}
+
+TEST(RhoTest, LeastSignificantOne) {
+  EXPECT_EQ(Rho(1, 24), 0);
+  EXPECT_EQ(Rho(2, 24), 1);
+  EXPECT_EQ(Rho(0b101000, 24), 3);
+  EXPECT_EQ(Rho(uint64_t{1} << 63, 64), 63);
+}
+
+TEST(RhoTest, ClampsToBits) {
+  // rho of 2^30 with a 24-bit budget clamps to 24.
+  EXPECT_EQ(Rho(uint64_t{1} << 30, 24), 24);
+}
+
+TEST(RhoTest, GeometricDistribution) {
+  // P(rho = r) = 2^-(r+1) under uniform hashes.
+  Rng rng(123);
+  constexpr int kDraws = 1 << 18;
+  int counts[8] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    const int r = Rho(rng.Next(), 64);
+    if (r < 8) counts[r]++;
+  }
+  for (int r = 0; r < 8; ++r) {
+    const double expected = kDraws * std::pow(2.0, -(r + 1));
+    EXPECT_NEAR(counts[r], expected, 6 * std::sqrt(expected)) << r;
+  }
+}
+
+TEST(LeastSignificantZeroTest, Basics) {
+  EXPECT_EQ(LeastSignificantZero(0b0000, 24), 0);
+  EXPECT_EQ(LeastSignificantZero(0b0001, 24), 1);
+  EXPECT_EQ(LeastSignificantZero(0b0111, 24), 3);
+  EXPECT_EQ(LeastSignificantZero(0b1011, 24), 2);
+}
+
+TEST(LeastSignificantZeroTest, SaturatedBitmap) {
+  EXPECT_EQ(LeastSignificantZero(0xffffff, 24), 24);
+  EXPECT_EQ(LeastSignificantZero(~uint64_t{0}, 64), 64);
+}
+
+TEST(MostSignificantOneTest, Basics) {
+  EXPECT_EQ(MostSignificantOne(0, 24), -1);
+  EXPECT_EQ(MostSignificantOne(1, 24), 0);
+  EXPECT_EQ(MostSignificantOne(0b0110, 24), 2);
+  EXPECT_EQ(MostSignificantOne(uint64_t{1} << 23, 24), 23);
+}
+
+TEST(MostSignificantOneTest, IgnoresBitsBeyondLength) {
+  // Bit 30 is outside a 24-bit bitmap and must not count.
+  EXPECT_EQ(MostSignificantOne((uint64_t{1} << 30) | 0b10, 24), 1);
+  EXPECT_EQ(MostSignificantOne(uint64_t{1} << 30, 24), -1);
+}
+
+TEST(RhoIdentityTest, RhoAndScanAgree) {
+  // Setting bit Rho(x) in an empty bitmap makes MostSignificantOne and
+  // LeastSignificantZero consistent with that position.
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.Next() | 1;  // ensure rho < 64
+    const int r = Rho(x, 64);
+    const uint64_t bitmap = uint64_t{1} << r;
+    EXPECT_EQ(MostSignificantOne(bitmap, 64), r);
+    EXPECT_EQ(LeastSignificantZero(bitmap, 64), r == 0 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace dhs
