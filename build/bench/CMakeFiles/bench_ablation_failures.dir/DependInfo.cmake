@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_failures.cc" "bench/CMakeFiles/bench_ablation_failures.dir/bench_ablation_failures.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_failures.dir/bench_ablation_failures.cc.o.d"
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_ablation_failures.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_failures.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_queryopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

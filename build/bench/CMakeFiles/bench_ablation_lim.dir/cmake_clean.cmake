@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lim.dir/bench_ablation_lim.cc.o"
+  "CMakeFiles/bench_ablation_lim.dir/bench_ablation_lim.cc.o.d"
+  "CMakeFiles/bench_ablation_lim.dir/bench_util.cc.o"
+  "CMakeFiles/bench_ablation_lim.dir/bench_util.cc.o.d"
+  "bench_ablation_lim"
+  "bench_ablation_lim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

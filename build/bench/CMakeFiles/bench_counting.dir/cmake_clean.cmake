@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counting.dir/bench_counting.cc.o"
+  "CMakeFiles/bench_counting.dir/bench_counting.cc.o.d"
+  "CMakeFiles/bench_counting.dir/bench_util.cc.o"
+  "CMakeFiles/bench_counting.dir/bench_util.cc.o.d"
+  "bench_counting"
+  "bench_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

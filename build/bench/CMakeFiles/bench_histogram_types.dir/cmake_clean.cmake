@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histogram_types.dir/bench_histogram_types.cc.o"
+  "CMakeFiles/bench_histogram_types.dir/bench_histogram_types.cc.o.d"
+  "CMakeFiles/bench_histogram_types.dir/bench_util.cc.o"
+  "CMakeFiles/bench_histogram_types.dir/bench_util.cc.o.d"
+  "bench_histogram_types"
+  "bench_histogram_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histogram_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queryopt.dir/bench_queryopt.cc.o"
+  "CMakeFiles/bench_queryopt.dir/bench_queryopt.cc.o.d"
+  "CMakeFiles/bench_queryopt.dir/bench_util.cc.o"
+  "CMakeFiles/bench_queryopt.dir/bench_util.cc.o.d"
+  "bench_queryopt"
+  "bench_queryopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queryopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

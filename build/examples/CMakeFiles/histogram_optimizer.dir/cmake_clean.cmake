@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_optimizer.dir/histogram_optimizer.cpp.o"
+  "CMakeFiles/histogram_optimizer.dir/histogram_optimizer.cpp.o.d"
+  "histogram_optimizer"
+  "histogram_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_size.dir/network_size.cpp.o"
+  "CMakeFiles/network_size.dir/network_size.cpp.o.d"
+  "network_size"
+  "network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/central_counter.cc" "src/CMakeFiles/dhs_baselines.dir/baselines/central_counter.cc.o" "gcc" "src/CMakeFiles/dhs_baselines.dir/baselines/central_counter.cc.o.d"
+  "/root/repo/src/baselines/convergecast.cc" "src/CMakeFiles/dhs_baselines.dir/baselines/convergecast.cc.o" "gcc" "src/CMakeFiles/dhs_baselines.dir/baselines/convergecast.cc.o.d"
+  "/root/repo/src/baselines/gossip.cc" "src/CMakeFiles/dhs_baselines.dir/baselines/gossip.cc.o" "gcc" "src/CMakeFiles/dhs_baselines.dir/baselines/gossip.cc.o.d"
+  "/root/repo/src/baselines/sampling.cc" "src/CMakeFiles/dhs_baselines.dir/baselines/sampling.cc.o" "gcc" "src/CMakeFiles/dhs_baselines.dir/baselines/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_baselines.dir/baselines/central_counter.cc.o"
+  "CMakeFiles/dhs_baselines.dir/baselines/central_counter.cc.o.d"
+  "CMakeFiles/dhs_baselines.dir/baselines/convergecast.cc.o"
+  "CMakeFiles/dhs_baselines.dir/baselines/convergecast.cc.o.d"
+  "CMakeFiles/dhs_baselines.dir/baselines/gossip.cc.o"
+  "CMakeFiles/dhs_baselines.dir/baselines/gossip.cc.o.d"
+  "CMakeFiles/dhs_baselines.dir/baselines/sampling.cc.o"
+  "CMakeFiles/dhs_baselines.dir/baselines/sampling.cc.o.d"
+  "libdhs_baselines.a"
+  "libdhs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_common.dir/common/random.cc.o"
+  "CMakeFiles/dhs_common.dir/common/random.cc.o.d"
+  "CMakeFiles/dhs_common.dir/common/stats.cc.o"
+  "CMakeFiles/dhs_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/dhs_common.dir/common/status.cc.o"
+  "CMakeFiles/dhs_common.dir/common/status.cc.o.d"
+  "CMakeFiles/dhs_common.dir/common/zipf.cc.o"
+  "CMakeFiles/dhs_common.dir/common/zipf.cc.o.d"
+  "libdhs_common.a"
+  "libdhs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

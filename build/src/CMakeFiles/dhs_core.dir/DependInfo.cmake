@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dhs/client.cc" "src/CMakeFiles/dhs_core.dir/dhs/client.cc.o" "gcc" "src/CMakeFiles/dhs_core.dir/dhs/client.cc.o.d"
+  "/root/repo/src/dhs/config.cc" "src/CMakeFiles/dhs_core.dir/dhs/config.cc.o" "gcc" "src/CMakeFiles/dhs_core.dir/dhs/config.cc.o.d"
+  "/root/repo/src/dhs/lim.cc" "src/CMakeFiles/dhs_core.dir/dhs/lim.cc.o" "gcc" "src/CMakeFiles/dhs_core.dir/dhs/lim.cc.o.d"
+  "/root/repo/src/dhs/maintainer.cc" "src/CMakeFiles/dhs_core.dir/dhs/maintainer.cc.o" "gcc" "src/CMakeFiles/dhs_core.dir/dhs/maintainer.cc.o.d"
+  "/root/repo/src/dhs/mapping.cc" "src/CMakeFiles/dhs_core.dir/dhs/mapping.cc.o" "gcc" "src/CMakeFiles/dhs_core.dir/dhs/mapping.cc.o.d"
+  "/root/repo/src/dhs/metrics.cc" "src/CMakeFiles/dhs_core.dir/dhs/metrics.cc.o" "gcc" "src/CMakeFiles/dhs_core.dir/dhs/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_core.dir/dhs/client.cc.o"
+  "CMakeFiles/dhs_core.dir/dhs/client.cc.o.d"
+  "CMakeFiles/dhs_core.dir/dhs/config.cc.o"
+  "CMakeFiles/dhs_core.dir/dhs/config.cc.o.d"
+  "CMakeFiles/dhs_core.dir/dhs/lim.cc.o"
+  "CMakeFiles/dhs_core.dir/dhs/lim.cc.o.d"
+  "CMakeFiles/dhs_core.dir/dhs/maintainer.cc.o"
+  "CMakeFiles/dhs_core.dir/dhs/maintainer.cc.o.d"
+  "CMakeFiles/dhs_core.dir/dhs/mapping.cc.o"
+  "CMakeFiles/dhs_core.dir/dhs/mapping.cc.o.d"
+  "CMakeFiles/dhs_core.dir/dhs/metrics.cc.o"
+  "CMakeFiles/dhs_core.dir/dhs/metrics.cc.o.d"
+  "libdhs_core.a"
+  "libdhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

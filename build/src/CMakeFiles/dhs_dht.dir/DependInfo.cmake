@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/chord.cc" "src/CMakeFiles/dhs_dht.dir/dht/chord.cc.o" "gcc" "src/CMakeFiles/dhs_dht.dir/dht/chord.cc.o.d"
+  "/root/repo/src/dht/kademlia.cc" "src/CMakeFiles/dhs_dht.dir/dht/kademlia.cc.o" "gcc" "src/CMakeFiles/dhs_dht.dir/dht/kademlia.cc.o.d"
+  "/root/repo/src/dht/network.cc" "src/CMakeFiles/dhs_dht.dir/dht/network.cc.o" "gcc" "src/CMakeFiles/dhs_dht.dir/dht/network.cc.o.d"
+  "/root/repo/src/dht/node_id.cc" "src/CMakeFiles/dhs_dht.dir/dht/node_id.cc.o" "gcc" "src/CMakeFiles/dhs_dht.dir/dht/node_id.cc.o.d"
+  "/root/repo/src/dht/router.cc" "src/CMakeFiles/dhs_dht.dir/dht/router.cc.o" "gcc" "src/CMakeFiles/dhs_dht.dir/dht/router.cc.o.d"
+  "/root/repo/src/dht/store.cc" "src/CMakeFiles/dhs_dht.dir/dht/store.cc.o" "gcc" "src/CMakeFiles/dhs_dht.dir/dht/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_dht.dir/dht/chord.cc.o"
+  "CMakeFiles/dhs_dht.dir/dht/chord.cc.o.d"
+  "CMakeFiles/dhs_dht.dir/dht/kademlia.cc.o"
+  "CMakeFiles/dhs_dht.dir/dht/kademlia.cc.o.d"
+  "CMakeFiles/dhs_dht.dir/dht/network.cc.o"
+  "CMakeFiles/dhs_dht.dir/dht/network.cc.o.d"
+  "CMakeFiles/dhs_dht.dir/dht/node_id.cc.o"
+  "CMakeFiles/dhs_dht.dir/dht/node_id.cc.o.d"
+  "CMakeFiles/dhs_dht.dir/dht/router.cc.o"
+  "CMakeFiles/dhs_dht.dir/dht/router.cc.o.d"
+  "CMakeFiles/dhs_dht.dir/dht/store.cc.o"
+  "CMakeFiles/dhs_dht.dir/dht/store.cc.o.d"
+  "libdhs_dht.a"
+  "libdhs_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

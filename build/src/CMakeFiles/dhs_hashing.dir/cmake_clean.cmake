@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_hashing.dir/hashing/hasher.cc.o"
+  "CMakeFiles/dhs_hashing.dir/hashing/hasher.cc.o.d"
+  "CMakeFiles/dhs_hashing.dir/hashing/md4.cc.o"
+  "CMakeFiles/dhs_hashing.dir/hashing/md4.cc.o.d"
+  "libdhs_hashing.a"
+  "libdhs_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/histogram/advanced.cc" "src/CMakeFiles/dhs_histogram.dir/histogram/advanced.cc.o" "gcc" "src/CMakeFiles/dhs_histogram.dir/histogram/advanced.cc.o.d"
+  "/root/repo/src/histogram/dhs_histogram.cc" "src/CMakeFiles/dhs_histogram.dir/histogram/dhs_histogram.cc.o" "gcc" "src/CMakeFiles/dhs_histogram.dir/histogram/dhs_histogram.cc.o.d"
+  "/root/repo/src/histogram/equi_width.cc" "src/CMakeFiles/dhs_histogram.dir/histogram/equi_width.cc.o" "gcc" "src/CMakeFiles/dhs_histogram.dir/histogram/equi_width.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_histogram.dir/histogram/advanced.cc.o"
+  "CMakeFiles/dhs_histogram.dir/histogram/advanced.cc.o.d"
+  "CMakeFiles/dhs_histogram.dir/histogram/dhs_histogram.cc.o"
+  "CMakeFiles/dhs_histogram.dir/histogram/dhs_histogram.cc.o.d"
+  "CMakeFiles/dhs_histogram.dir/histogram/equi_width.cc.o"
+  "CMakeFiles/dhs_histogram.dir/histogram/equi_width.cc.o.d"
+  "libdhs_histogram.a"
+  "libdhs_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_queryopt.dir/queryopt/join_graph.cc.o"
+  "CMakeFiles/dhs_queryopt.dir/queryopt/join_graph.cc.o.d"
+  "CMakeFiles/dhs_queryopt.dir/queryopt/optimizer.cc.o"
+  "CMakeFiles/dhs_queryopt.dir/queryopt/optimizer.cc.o.d"
+  "CMakeFiles/dhs_queryopt.dir/queryopt/selectivity.cc.o"
+  "CMakeFiles/dhs_queryopt.dir/queryopt/selectivity.cc.o.d"
+  "libdhs_queryopt.a"
+  "libdhs_queryopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_queryopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_relation.dir/relation/generator.cc.o"
+  "CMakeFiles/dhs_relation.dir/relation/generator.cc.o.d"
+  "CMakeFiles/dhs_relation.dir/relation/relation.cc.o"
+  "CMakeFiles/dhs_relation.dir/relation/relation.cc.o.d"
+  "libdhs_relation.a"
+  "libdhs_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dhs_relation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/estimator.cc" "src/CMakeFiles/dhs_sketch.dir/sketch/estimator.cc.o" "gcc" "src/CMakeFiles/dhs_sketch.dir/sketch/estimator.cc.o.d"
+  "/root/repo/src/sketch/hyperloglog.cc" "src/CMakeFiles/dhs_sketch.dir/sketch/hyperloglog.cc.o" "gcc" "src/CMakeFiles/dhs_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "/root/repo/src/sketch/loglog.cc" "src/CMakeFiles/dhs_sketch.dir/sketch/loglog.cc.o" "gcc" "src/CMakeFiles/dhs_sketch.dir/sketch/loglog.cc.o.d"
+  "/root/repo/src/sketch/pcsa.cc" "src/CMakeFiles/dhs_sketch.dir/sketch/pcsa.cc.o" "gcc" "src/CMakeFiles/dhs_sketch.dir/sketch/pcsa.cc.o.d"
+  "/root/repo/src/sketch/rho.cc" "src/CMakeFiles/dhs_sketch.dir/sketch/rho.cc.o" "gcc" "src/CMakeFiles/dhs_sketch.dir/sketch/rho.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

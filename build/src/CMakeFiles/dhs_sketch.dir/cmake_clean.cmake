@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_sketch.dir/sketch/estimator.cc.o"
+  "CMakeFiles/dhs_sketch.dir/sketch/estimator.cc.o.d"
+  "CMakeFiles/dhs_sketch.dir/sketch/hyperloglog.cc.o"
+  "CMakeFiles/dhs_sketch.dir/sketch/hyperloglog.cc.o.d"
+  "CMakeFiles/dhs_sketch.dir/sketch/loglog.cc.o"
+  "CMakeFiles/dhs_sketch.dir/sketch/loglog.cc.o.d"
+  "CMakeFiles/dhs_sketch.dir/sketch/pcsa.cc.o"
+  "CMakeFiles/dhs_sketch.dir/sketch/pcsa.cc.o.d"
+  "CMakeFiles/dhs_sketch.dir/sketch/rho.cc.o"
+  "CMakeFiles/dhs_sketch.dir/sketch/rho.cc.o.d"
+  "libdhs_sketch.a"
+  "libdhs_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

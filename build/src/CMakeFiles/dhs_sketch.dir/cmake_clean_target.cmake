@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdhs_sketch.a"
+)

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_test.dir/dhs/client_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs/client_test.cc.o.d"
+  "CMakeFiles/dhs_test.dir/dhs/config_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs/config_test.cc.o.d"
+  "CMakeFiles/dhs_test.dir/dhs/lim_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs/lim_test.cc.o.d"
+  "CMakeFiles/dhs_test.dir/dhs/maintainer_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs/maintainer_test.cc.o.d"
+  "CMakeFiles/dhs_test.dir/dhs/mapping_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs/mapping_test.cc.o.d"
+  "CMakeFiles/dhs_test.dir/dhs/metrics_test.cc.o"
+  "CMakeFiles/dhs_test.dir/dhs/metrics_test.cc.o.d"
+  "dhs_test"
+  "dhs_test.pdb"
+  "dhs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

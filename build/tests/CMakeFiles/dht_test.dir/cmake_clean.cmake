@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dht_test.dir/dht/chord_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht/chord_test.cc.o.d"
+  "CMakeFiles/dht_test.dir/dht/kademlia_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht/kademlia_test.cc.o.d"
+  "CMakeFiles/dht_test.dir/dht/network_conformance_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht/network_conformance_test.cc.o.d"
+  "CMakeFiles/dht_test.dir/dht/node_id_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht/node_id_test.cc.o.d"
+  "CMakeFiles/dht_test.dir/dht/router_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht/router_test.cc.o.d"
+  "CMakeFiles/dht_test.dir/dht/store_test.cc.o"
+  "CMakeFiles/dht_test.dir/dht/store_test.cc.o.d"
+  "dht_test"
+  "dht_test.pdb"
+  "dht_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dht_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

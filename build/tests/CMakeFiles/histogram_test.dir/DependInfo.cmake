@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/histogram/advanced_test.cc" "tests/CMakeFiles/histogram_test.dir/histogram/advanced_test.cc.o" "gcc" "tests/CMakeFiles/histogram_test.dir/histogram/advanced_test.cc.o.d"
+  "/root/repo/tests/histogram/dhs_histogram_test.cc" "tests/CMakeFiles/histogram_test.dir/histogram/dhs_histogram_test.cc.o" "gcc" "tests/CMakeFiles/histogram_test.dir/histogram/dhs_histogram_test.cc.o.d"
+  "/root/repo/tests/histogram/equi_width_test.cc" "tests/CMakeFiles/histogram_test.dir/histogram/equi_width_test.cc.o" "gcc" "tests/CMakeFiles/histogram_test.dir/histogram/equi_width_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_queryopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_test.dir/histogram/advanced_test.cc.o"
+  "CMakeFiles/histogram_test.dir/histogram/advanced_test.cc.o.d"
+  "CMakeFiles/histogram_test.dir/histogram/dhs_histogram_test.cc.o"
+  "CMakeFiles/histogram_test.dir/histogram/dhs_histogram_test.cc.o.d"
+  "CMakeFiles/histogram_test.dir/histogram/equi_width_test.cc.o"
+  "CMakeFiles/histogram_test.dir/histogram/equi_width_test.cc.o.d"
+  "histogram_test"
+  "histogram_test.pdb"
+  "histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

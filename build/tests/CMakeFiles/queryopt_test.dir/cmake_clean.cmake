@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queryopt_test.dir/queryopt/optimizer_test.cc.o"
+  "CMakeFiles/queryopt_test.dir/queryopt/optimizer_test.cc.o.d"
+  "CMakeFiles/queryopt_test.dir/queryopt/selectivity_test.cc.o"
+  "CMakeFiles/queryopt_test.dir/queryopt/selectivity_test.cc.o.d"
+  "queryopt_test"
+  "queryopt_test.pdb"
+  "queryopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queryopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

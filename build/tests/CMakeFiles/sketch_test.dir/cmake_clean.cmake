@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_test.dir/sketch/estimator_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/estimator_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/hyperloglog_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/hyperloglog_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/loglog_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/loglog_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/pcsa_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/pcsa_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/property_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/property_test.cc.o.d"
+  "CMakeFiles/sketch_test.dir/sketch/rho_test.cc.o"
+  "CMakeFiles/sketch_test.dir/sketch/rho_test.cc.o.d"
+  "sketch_test"
+  "sketch_test.pdb"
+  "sketch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/calibrate_sll.cc" "tools/CMakeFiles/calibrate_sll.dir/calibrate_sll.cc.o" "gcc" "tools/CMakeFiles/calibrate_sll.dir/calibrate_sll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dhs_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dhs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_sll.dir/calibrate_sll.cc.o"
+  "CMakeFiles/calibrate_sll.dir/calibrate_sll.cc.o.d"
+  "calibrate_sll"
+  "calibrate_sll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_sll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for calibrate_sll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dhs_sim.dir/dhs_sim.cc.o"
+  "CMakeFiles/dhs_sim.dir/dhs_sim.cc.o.d"
+  "dhs_sim"
+  "dhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dhs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
