@@ -124,12 +124,10 @@ std::vector<int> DhsClient::ProbeNodeForMetric(uint64_t node,
   if (store == nullptr) return vectors;
   NodeLoad* load = network_->LoadAt(node);
   if (load != nullptr) load->probes += 1;
-  store->ForEachWithPrefix(
-      MakeDhsPrefix(metric_id, bit), network_->now(),
-      [&vectors](const std::string& key, const StoreRecord&) {
-        const int vector_id = VectorIdFromDhsKey(key);
-        if (vector_id >= 0) vectors.push_back(vector_id);
-      });
+  store->ForEachDhs(metric_id, bit, network_->now(),
+                    [&vectors](const StoreKey& key, const StoreRecord&) {
+                      vectors.push_back(key.vector_id());
+                    });
   const size_t response = config_.ProbeResponseBytes(vectors.size());
   network_->ChargeBytes(response);
   cost->bytes += response;

@@ -53,28 +53,4 @@ int BitMapping::BitForId(uint64_t id) const {
   return idx + shift_;
 }
 
-std::string MakeDhsKey(uint64_t metric_id, int bit, int vector_id) {
-  std::string key = MakeDhsPrefix(metric_id, bit);
-  key.push_back(static_cast<char>((vector_id >> 8) & 0xff));
-  key.push_back(static_cast<char>(vector_id & 0xff));
-  return key;
-}
-
-std::string MakeDhsPrefix(uint64_t metric_id, int bit) {
-  std::string key;
-  key.reserve(12);
-  key.push_back('D');
-  for (int i = 7; i >= 0; --i) {
-    key.push_back(static_cast<char>((metric_id >> (8 * i)) & 0xff));
-  }
-  key.push_back(static_cast<char>(bit & 0xff));
-  return key;
-}
-
-int VectorIdFromDhsKey(const std::string& key) {
-  if (key.size() < 12) return -1;
-  return (static_cast<uint8_t>(key[10]) << 8) |
-         static_cast<uint8_t>(key[11]);
-}
-
 }  // namespace dhs

@@ -16,11 +16,11 @@
 #define DHS_DHS_MAPPING_H_
 
 #include <cstdint>
-#include <string>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "dht/node_id.h"
+#include "dht/store.h"
 #include "dhs/config.h"
 
 namespace dhs {
@@ -53,14 +53,13 @@ class BitMapping {
   int max_bit_;   // rho_bits_ (the saturation position)
 };
 
-/// Storage-key layout for DHS tuples. Keys are ordered so that one prefix
-/// scan retrieves every vector stored at a node for a given (metric, bit):
-///   'D' | metric_id (8B BE) | bit (1B) | vector_id (2B BE)
-std::string MakeDhsKey(uint64_t metric_id, int bit, int vector_id);
-std::string MakeDhsPrefix(uint64_t metric_id, int bit);
-
-/// Inverse of MakeDhsKey for the vector_id component.
-int VectorIdFromDhsKey(const std::string& key);
+/// Storage key for DHS tuples: a packed (metric, bit, vector) StoreKey.
+/// Keys order as (metric_id, bit, vector_id), so one typed range scan
+/// (NodeStore::ForEachDhs / ForEachDhsMetric) retrieves every vector
+/// stored at a node for a given (metric, bit) or metric.
+inline StoreKey MakeDhsKey(uint64_t metric_id, int bit, int vector_id) {
+  return StoreKey::Dhs(metric_id, bit, vector_id);
+}
 
 }  // namespace dhs
 

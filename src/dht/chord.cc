@@ -5,8 +5,8 @@
 namespace dhs {
 
 StatusOr<uint64_t> ChordNetwork::ResponsibleNode(uint64_t key) const {
-  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
-  return RingSuccessor(key)->first;
+  if (NumNodes() == 0) return Status::FailedPrecondition("empty network");
+  return RingSuccessorId(key);
 }
 
 void ChordNetwork::MigrateOnJoin(uint64_t new_node_id) {
@@ -25,33 +25,62 @@ void ChordNetwork::MigrateOnJoin(uint64_t new_node_id) {
           *joiner_store);
 }
 
+ChordNetwork::FingerTable& ChordNetwork::TableAt(size_t node_idx) const {
+  if (tables_.size() < ring().size()) tables_.resize(ring().size());
+  FingerTable& table = tables_[node_idx];
+  if (table.epoch != epoch_) {
+    table.epoch = epoch_;
+    table.known = 0;
+    const size_t n = ring().size();
+    table.predecessor = ring()[node_idx == 0 ? n - 1 : node_idx - 1];
+  }
+  return table;
+}
+
+size_t ChordNetwork::FingerIndex(FingerTable& table, uint64_t node_id,
+                                 int i) const {
+  const uint64_t bit = uint64_t{1} << i;
+  if ((table.known & bit) == 0) {
+    table.fingers[static_cast<size_t>(i)] = static_cast<uint32_t>(
+        RingSuccessorIndex(space_.Add(node_id, bit)));
+    table.known |= bit;
+  }
+  return static_cast<size_t>(table.fingers[static_cast<size_t>(i)]);
+}
+
 std::vector<uint64_t> ChordNetwork::ProbeCandidates(
     const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
     int max_candidates) const {
   (void)probe_key;  // ring candidates do not depend on the probed key
   std::vector<uint64_t> candidates;
-  if (max_candidates <= 0 || nodes_.empty()) return candidates;
+  if (max_candidates <= 0 || NumNodes() == 0) return candidates;
+
+  const std::vector<uint64_t>& r = ring();
+  const size_t n = r.size();
+  const size_t start_idx = RingSuccessorIndex(start_node);
 
   // Successor direction: walk while the previous node is still inside
   // the interval (one node beyond it owns the interval's top keys).
   uint64_t frontier = start_node;
+  size_t idx = start_idx;
   while (static_cast<int>(candidates.size()) < max_candidates &&
          interval.Contains(frontier)) {
-    auto succ = SuccessorOfNode(frontier);
-    if (!succ.ok() || succ.value() == start_node) break;  // wrapped
-    frontier = succ.value();
+    idx = idx + 1 == n ? 0 : idx + 1;
+    const uint64_t succ = r[idx];
+    if (succ == start_node) break;  // wrapped
+    frontier = succ;
     candidates.push_back(frontier);
   }
   // Predecessor direction from the start node, staying inside.
-  uint64_t pred_frontier = start_node;
+  size_t pidx = start_idx;
   while (static_cast<int>(candidates.size()) < max_candidates) {
-    auto pred = PredecessorOfNode(pred_frontier);
-    if (!pred.ok() || pred.value() == frontier ||
-        pred.value() == start_node || !interval.Contains(pred.value())) {
+    pidx = pidx == 0 ? n - 1 : pidx - 1;
+    const uint64_t pred = r[pidx];
+    if (pred == frontier || pred == start_node ||
+        !interval.Contains(pred)) {
       break;
     }
-    pred_frontier = pred.value();
-    candidates.push_back(pred_frontier);
+    candidates.push_back(pred);
   }
   return candidates;
 }

@@ -8,8 +8,9 @@
 namespace dhs {
 
 bool KademliaNetwork::BlockNonEmpty(uint64_t lo, uint64_t size) const {
-  auto it = nodes_.lower_bound(lo);
-  return it != nodes_.end() && it->first - lo < size;
+  const std::vector<uint64_t>& r = ring();
+  auto it = std::lower_bound(r.begin(), r.end(), lo);
+  return it != r.end() && *it - lo < size;
 }
 
 uint64_t KademliaNetwork::ClosestWithin(uint64_t lo, uint64_t size,
@@ -31,7 +32,7 @@ uint64_t KademliaNetwork::ClosestWithin(uint64_t lo, uint64_t size,
 }
 
 StatusOr<uint64_t> KademliaNetwork::ResponsibleNode(uint64_t key) const {
-  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
+  if (NumNodes() == 0) return Status::FailedPrecondition("empty network");
   key = space_.Clamp(key);
   const int L = space_.bits();
   // Split the full space manually (2^64 does not fit in uint64_t).
@@ -43,10 +44,23 @@ StatusOr<uint64_t> KademliaNetwork::ResponsibleNode(uint64_t key) const {
   return ClosestWithin(lo, half_size, key);
 }
 
-uint64_t KademliaNetwork::NextHop(uint64_t current, uint64_t key) const {
-  auto closest = ResponsibleNode(key);
-  assert(closest.ok());
-  if (current == closest.value()) return current;
+KademliaNetwork::BucketTable& KademliaNetwork::BucketsFor(
+    uint64_t node_id) const {
+  BucketTable& table = bucket_cache_[node_id];
+  if (table.state.empty()) {
+    table.contact.resize(static_cast<size_t>(space_.bits()), 0);
+    table.state.resize(static_cast<size_t>(space_.bits()), kUnknown);
+  }
+  return table;
+}
+
+size_t KademliaNetwork::NextHopIndex(size_t current_idx,
+                                     uint64_t current_id,
+                                     uint64_t key) const {
+  key = space_.Clamp(key);
+  const uint64_t diff = current_id ^ key;
+  // A live node with the key's own ID is trivially XOR-closest.
+  if (diff == 0) return current_idx;
 
   // Jump to a node sharing a strictly longer prefix with the key: a
   // member of the key's aligned block at the level of the current
@@ -55,20 +69,40 @@ uint64_t KademliaNetwork::NextHop(uint64_t current, uint64_t key) const {
   // so we model the contact as the block member XOR-closest to `current`
   // — its deeper bits are uncorrelated with the key's, giving the
   // classic one-bit-per-hop O(log N) routing.
-  const int b = Log2Floor(current ^ key);
-  const uint64_t block_size = uint64_t{1} << b;
-  const uint64_t block_lo = key & ~(block_size - 1);
-  if (BlockNonEmpty(block_lo, block_size)) {
-    return ClosestWithin(block_lo, block_size, current);
+  //
+  // The block at level b is (current ^ 2^b) & ~(2^b - 1): a function of
+  // (current, b) only, so the chosen contact is cacheable per node per
+  // bucket. When the block is non-empty its members are strictly
+  // XOR-closer to the key than current, so the pre-cache early return
+  // "current is already responsible" can only have fired on empty
+  // blocks — the kEmptyBlock path below covers it.
+  const int b = Log2Floor(diff);
+  BucketTable& table = BucketsFor(current_id);
+  uint8_t& state = table.state[static_cast<size_t>(b)];
+  if (state == kUnknown) {
+    const uint64_t block_size = uint64_t{1} << b;
+    const uint64_t block_lo = (current_id ^ block_size) & ~(block_size - 1);
+    if (BlockNonEmpty(block_lo, block_size)) {
+      table.contact[static_cast<size_t>(b)] = RingIndexOf(
+          ClosestWithin(block_lo, block_size, current_id));
+      state = kContact;
+    } else {
+      state = kEmptyBlock;
+    }
   }
-  return closest.value();
+  if (state == kContact) {
+    return static_cast<size_t>(table.contact[static_cast<size_t>(b)]);
+  }
+  auto closest = ResponsibleNode(key);
+  assert(closest.ok());
+  return RingIndexOf(closest.value());
 }
 
 std::vector<uint64_t> KademliaNetwork::ProbeCandidates(
     const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
     int max_candidates) const {
   std::vector<uint64_t> candidates;
-  if (max_candidates <= 0 || nodes_.empty()) return candidates;
+  if (max_candidates <= 0 || NumNodes() == 0) return candidates;
 
   // Under XOR responsibility, the keys of an interval are held by the
   // nodes of the smallest non-empty aligned block enclosing it (if the
@@ -94,25 +128,26 @@ std::vector<uint64_t> KademliaNetwork::ProbeCandidates(
   const uint64_t block_hi_excl =
       whole_space ? space_.Mask() : lo + (size - 1);  // inclusive top
   const size_t window = static_cast<size_t>(max_candidates) * 4 + 8;
+  const std::vector<uint64_t>& r = ring();
   std::vector<uint64_t> members;
-  auto fwd = nodes_.lower_bound(probe_key);
-  auto bwd = fwd;
+  size_t fwd = static_cast<size_t>(
+      std::lower_bound(r.begin(), r.end(), probe_key) - r.begin());
+  size_t bwd = fwd;
   while (members.size() < window) {
     bool advanced = false;
-    if (fwd != nodes_.end() && fwd->first >= block_lo &&
-        fwd->first <= block_hi_excl) {
-      members.push_back(fwd->first);
+    if (fwd < r.size() && r[fwd] >= block_lo && r[fwd] <= block_hi_excl) {
+      members.push_back(r[fwd]);
       ++fwd;
       advanced = true;
     }
-    if (bwd != nodes_.begin()) {
-      auto prev = std::prev(bwd);
-      if (prev->first >= block_lo && prev->first <= block_hi_excl) {
-        members.push_back(prev->first);
-        bwd = prev;
+    if (bwd > 0) {
+      const uint64_t prev = r[bwd - 1];
+      if (prev >= block_lo && prev <= block_hi_excl) {
+        members.push_back(prev);
+        --bwd;
         advanced = true;
       } else {
-        bwd = nodes_.begin();  // exhausted downward
+        bwd = 0;  // exhausted downward
       }
     }
     if (!advanced) break;

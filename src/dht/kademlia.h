@@ -4,11 +4,14 @@
 // Responsibility: the live node minimizing XOR(node, key). Routing: at
 // each step the query jumps to a node sharing a strictly longer ID
 // prefix with the key (the converged-k-bucket idealization), giving
-// O(log N) hops. Candidate holders of a prefix-aligned interval are the
-// nodes of the smallest non-empty aligned block enclosing it, ordered by
-// XOR distance to the probed key — because under XOR responsibility the
-// keys of an empty block scatter over that enclosing block rather than
-// onto a single ring successor.
+// O(log N) hops. The contact a node uses for differing-bit level b
+// depends only on (node, b), so contacts are materialized into a
+// per-node bucket table that is dropped on membership change — the
+// analogue of Chord's finger-table cache. Candidate holders of a
+// prefix-aligned interval are the nodes of the smallest non-empty
+// aligned block enclosing it, ordered by XOR distance to the probed key
+// — because under XOR responsibility the keys of an empty block scatter
+// over that enclosing block rather than onto a single ring successor.
 //
 // DHS runs unchanged on top of this network (the paper's DHT-agnostic
 // claim, §1): the thr() intervals are prefix-aligned blocks, meaningful
@@ -17,6 +20,8 @@
 #ifndef DHS_DHT_KADEMLIA_H_
 #define DHS_DHT_KADEMLIA_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "dht/network.h"
@@ -39,15 +44,32 @@ class KademliaNetwork : public DhtNetwork {
                                         int max_candidates) const override;
 
  protected:
-  uint64_t NextHop(uint64_t current, uint64_t key) const override;
+  size_t NextHopIndex(size_t current_idx, uint64_t current_id,
+                      uint64_t key) const override;
+
+  void OnMembershipChange() override { bucket_cache_.clear(); }
 
  private:
+  /// Per-node contact cache, one slot per differing-bit level: the ring
+  /// index of the block member a query at this node jumps to, or "block
+  /// empty" (route straight to the key's responsible node).
+  struct BucketTable {
+    std::vector<uint64_t> contact;  // ring index; valid where kContact
+    std::vector<uint8_t> state;     // kUnknown / kContact / kEmptyBlock
+  };
+  enum : uint8_t { kUnknown = 0, kContact = 1, kEmptyBlock = 2 };
+
+  BucketTable& BucketsFor(uint64_t node_id) const;
+
   /// True iff a live node exists in [lo, lo + size).
   bool BlockNonEmpty(uint64_t lo, uint64_t size) const;
 
   /// XOR-closest node to `key` within the non-empty aligned block
   /// [lo, lo + size). Preconditions: block non-empty.
   uint64_t ClosestWithin(uint64_t lo, uint64_t size, uint64_t key) const;
+
+  // Lazily filled; cleared on membership change.
+  mutable std::unordered_map<uint64_t, BucketTable> bucket_cache_;
 };
 
 }  // namespace dhs

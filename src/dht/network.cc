@@ -1,5 +1,6 @@
 #include "dht/network.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dhs {
@@ -13,13 +14,29 @@ DhtNetwork::DhtNetwork(const OverlayConfig& config)
   }
 }
 
+void DhtNetwork::RingInsert(uint64_t node_id) {
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), node_id);
+  loads_.insert(loads_.begin() + (it - ring_.begin()), NodeLoad{});
+  ring_.insert(it, node_id);
+}
+
+void DhtNetwork::RingErase(uint64_t node_id) {
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), node_id);
+  assert(it != ring_.end() && *it == node_id);
+  loads_.erase(loads_.begin() + (it - ring_.begin()));
+  ring_.erase(it);
+}
+
 Status DhtNetwork::AddNode(uint64_t node_id) {
   node_id = space_.Clamp(node_id);
-  if (nodes_.count(node_id) > 0) {
+  auto [it, inserted] = nodes_.try_emplace(node_id);
+  if (!inserted) {
     return Status::InvalidArgument("node id already present");
   }
-  nodes_.emplace(node_id, Node{});
-  if (nodes_.size() > 1) {
+  it->second.BindExpiryWatermark(&earliest_expiry_);
+  RingInsert(node_id);
+  OnMembershipChange();
+  if (ring_.size() > 1) {
     MigrateOnJoin(node_id);
   }
   return Status::OK();
@@ -36,15 +53,15 @@ void DhtNetwork::MigrateOnJoin(uint64_t new_node_id) {
   // Generic, always-correct re-homing: move every record whose
   // responsible node is now the joiner. O(total records); geometries
   // with cheap locality (Chord) override this.
-  Node& joiner = nodes_.at(new_node_id);
-  for (auto& [id, node] : nodes_) {
+  NodeStore& joiner = nodes_.at(new_node_id);
+  for (auto& [id, store] : nodes_) {
     if (id == new_node_id) continue;
-    node.store.MigrateIf(
+    store.MigrateIf(
         [&](uint64_t dht_key) {
           auto responsible = ResponsibleNode(dht_key);
           return responsible.ok() && responsible.value() == new_node_id;
         },
-        joiner.store);
+        joiner);
   }
 }
 
@@ -53,18 +70,16 @@ Status DhtNetwork::RemoveNode(uint64_t node_id) {
   if (it == nodes_.end()) return Status::NotFound("unknown node");
   // Graceful leave: re-home each live record at its new responsible node
   // (for Chord that is always the successor; for Kademlia records may
-  // scatter over several neighbours).
-  std::map<std::string, StoreRecord> pending;
-  it->second.store.ForEachWithPrefix(
-      "", now_, [&pending](const std::string& key, const StoreRecord& rec) {
-        pending[key] = rec;
-      });
+  // scatter over several neighbours). Map nodes are spliced, not copied.
+  NodeStore::RecordMap pending = it->second.TakeRecords(now_);
   nodes_.erase(it);
-  for (const auto& [key, rec] : pending) {
-    auto responsible = ResponsibleNode(rec.dht_key);
+  RingErase(space_.Clamp(node_id));
+  OnMembershipChange();
+  while (!pending.empty()) {
+    auto nh = pending.extract(pending.begin());
+    auto responsible = ResponsibleNode(nh.mapped().dht_key);
     if (responsible.ok()) {
-      nodes_.at(responsible.value())
-          .store.Put(rec.dht_key, key, rec.value, rec.expires_at);
+      nodes_.at(responsible.value()).Adopt(std::move(nh));
     }
   }
   return Status::OK();
@@ -74,87 +89,84 @@ Status DhtNetwork::FailNode(uint64_t node_id) {
   auto it = nodes_.find(space_.Clamp(node_id));
   if (it == nodes_.end()) return Status::NotFound("unknown node");
   nodes_.erase(it);  // records vanish with the node
+  RingErase(space_.Clamp(node_id));
+  OnMembershipChange();
   return Status::OK();
 }
 
-std::vector<uint64_t> DhtNetwork::NodeIds() const {
-  std::vector<uint64_t> ids;
-  ids.reserve(nodes_.size());
-  for (const auto& [id, node] : nodes_) ids.push_back(id);
-  return ids;
-}
-
 uint64_t DhtNetwork::RandomNode(Rng& rng) const {
-  assert(!nodes_.empty());
-  const size_t index = rng.UniformU64(nodes_.size());
-  auto it = nodes_.begin();
-  std::advance(it, static_cast<long>(index));
-  return it->first;
+  assert(!ring_.empty());
+  return ring_[rng.UniformU64(ring_.size())];
 }
 
-DhtNetwork::NodeMap::const_iterator DhtNetwork::RingSuccessor(
-    uint64_t key) const {
-  auto it = nodes_.lower_bound(space_.Clamp(key));
-  if (it == nodes_.end()) it = nodes_.begin();
-  return it;
+size_t DhtNetwork::RingSuccessorIndex(uint64_t key) const {
+  assert(!ring_.empty());
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(ring_.begin(), ring_.end(), space_.Clamp(key)) -
+      ring_.begin());
+  return idx == ring_.size() ? 0 : idx;
 }
 
-DhtNetwork::NodeMap::iterator DhtNetwork::RingSuccessor(uint64_t key) {
-  auto it = nodes_.lower_bound(space_.Clamp(key));
-  if (it == nodes_.end()) it = nodes_.begin();
-  return it;
+uint64_t DhtNetwork::RingSuccessorId(uint64_t key) const {
+  return ring_[RingSuccessorIndex(key)];
+}
+
+size_t DhtNetwork::RingIndexOf(uint64_t node_id) const {
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), node_id);
+  assert(it != ring_.end() && *it == node_id);
+  return static_cast<size_t>(it - ring_.begin());
 }
 
 StatusOr<uint64_t> DhtNetwork::SuccessorOfNode(uint64_t node_id) const {
-  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
-  auto it = nodes_.upper_bound(space_.Clamp(node_id));
-  if (it == nodes_.end()) it = nodes_.begin();
-  return it->first;
+  if (ring_.empty()) return Status::FailedPrecondition("empty network");
+  auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                             space_.Clamp(node_id));
+  if (it == ring_.end()) it = ring_.begin();
+  return *it;
 }
 
 StatusOr<uint64_t> DhtNetwork::PredecessorOfNode(uint64_t node_id) const {
-  if (nodes_.empty()) return Status::FailedPrecondition("empty network");
-  auto it = nodes_.lower_bound(space_.Clamp(node_id));
-  if (it == nodes_.begin()) it = nodes_.end();
+  if (ring_.empty()) return Status::FailedPrecondition("empty network");
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             space_.Clamp(node_id));
+  if (it == ring_.begin()) it = ring_.end();
   --it;
-  return it->first;
+  return *it;
 }
 
 size_t DhtNetwork::CountNodesInRange(uint64_t lo, uint64_t hi) const {
   lo = space_.Clamp(lo);
   hi = space_.Clamp(hi);
   if (lo == hi) return 0;
-  if (lo < hi) {
-    return static_cast<size_t>(std::distance(nodes_.lower_bound(lo),
-                                             nodes_.lower_bound(hi)));
-  }
-  return static_cast<size_t>(
-             std::distance(nodes_.lower_bound(lo), nodes_.end())) +
-         static_cast<size_t>(
-             std::distance(nodes_.begin(), nodes_.lower_bound(hi)));
+  const auto at = [this](uint64_t key) {
+    return static_cast<size_t>(
+        std::lower_bound(ring_.begin(), ring_.end(), key) - ring_.begin());
+  };
+  if (lo < hi) return at(hi) - at(lo);
+  return (ring_.size() - at(lo)) + at(hi);
 }
 
 StatusOr<LookupResult> DhtNetwork::Lookup(uint64_t from_node, uint64_t key,
                                           size_t payload_bytes) {
   from_node = space_.Clamp(from_node);
   key = space_.Clamp(key);
-  auto from_it = nodes_.find(from_node);
-  if (from_it == nodes_.end()) {
+  auto origin = std::lower_bound(ring_.begin(), ring_.end(), from_node);
+  if (origin == ring_.end() || *origin != from_node) {
     return Status::InvalidArgument("lookup origin is not a live node");
   }
 
   LookupResult result;
-  uint64_t current = from_node;
+  size_t cur_idx = static_cast<size_t>(origin - ring_.begin());
   stats_.messages += 1;
   for (int step = 0; step <= config_.max_route_hops; ++step) {
-    const uint64_t next = NextHop(current, key);
-    if (next == current) {
-      result.node = current;
-      nodes_.at(current).load.served += 1;
+    const size_t next_idx = NextHopIndex(cur_idx, ring_[cur_idx], key);
+    if (next_idx == cur_idx) {
+      result.node = ring_[cur_idx];
+      loads_[cur_idx].served += 1;
       return result;
     }
-    nodes_.at(current).load.routed += 1;
-    current = next;
+    loads_[cur_idx].routed += 1;
+    cur_idx = next_idx;
     result.hops += 1;
     stats_.hops += 1;
     stats_.bytes += payload_bytes;
@@ -173,71 +185,82 @@ Status DhtNetwork::DirectHop(uint64_t from_node, uint64_t to_node,
   if (from_node != to_node) {
     stats_.hops += 1;
     stats_.bytes += payload_bytes;
-    nodes_.at(to_node).load.served += 1;
+    loads_[RingIndexOf(to_node)].served += 1;
   }
   return Status::OK();
 }
 
 StatusOr<uint64_t> DhtNetwork::Put(uint64_t from_node, uint64_t dht_key,
-                                   const std::string& app_key,
-                                   std::string value, uint64_t ttl_ticks) {
-  const size_t payload = app_key.size() + value.size();
+                                   StoreKey app_key, std::string value,
+                                   uint64_t ttl_ticks) {
+  const size_t payload = app_key.SizeBytes() + value.size();
   auto lookup = Lookup(from_node, dht_key, payload);
   if (!lookup.ok()) return lookup.status();
   const uint64_t target = lookup->node;
-  Node& node = nodes_.at(target);
-  node.load.stores += 1;
+  loads_[RingIndexOf(target)].stores += 1;
   const uint64_t expires =
       ttl_ticks == kNoExpiry ? kNoExpiry : now_ + ttl_ticks;
-  node.store.Put(dht_key, app_key, std::move(value), expires);
+  nodes_.at(target).Put(dht_key, std::move(app_key), std::move(value),
+                        expires);
   return target;
 }
 
 StatusOr<std::string> DhtNetwork::GetValue(uint64_t from_node,
                                            uint64_t dht_key,
-                                           const std::string& app_key) {
-  auto lookup = Lookup(from_node, dht_key, app_key.size());
+                                           const StoreKey& app_key) {
+  auto lookup = Lookup(from_node, dht_key, app_key.SizeBytes());
   if (!lookup.ok()) return lookup.status();
-  Node& node = nodes_.at(lookup->node);
-  const StoreRecord* rec = node.store.Get(app_key, now_);
+  const StoreRecord* rec = nodes_.at(lookup->node).Get(app_key, now_);
   if (rec == nullptr) return Status::NotFound("no live record");
   return rec->value;
 }
 
 NodeStore* DhtNetwork::StoreAt(uint64_t node_id) {
   auto it = nodes_.find(space_.Clamp(node_id));
-  return it == nodes_.end() ? nullptr : &it->second.store;
+  return it == nodes_.end() ? nullptr : &it->second;
 }
 
 const NodeStore* DhtNetwork::StoreAt(uint64_t node_id) const {
   auto it = nodes_.find(space_.Clamp(node_id));
-  return it == nodes_.end() ? nullptr : &it->second.store;
+  return it == nodes_.end() ? nullptr : &it->second;
 }
 
 NodeLoad* DhtNetwork::LoadAt(uint64_t node_id) {
-  auto it = nodes_.find(space_.Clamp(node_id));
-  return it == nodes_.end() ? nullptr : &it->second.load;
+  node_id = space_.Clamp(node_id);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), node_id);
+  if (it == ring_.end() || *it != node_id) return nullptr;
+  return &loads_[static_cast<size_t>(it - ring_.begin())];
 }
 
 std::vector<std::pair<uint64_t, NodeLoad>> DhtNetwork::Loads() const {
   std::vector<std::pair<uint64_t, NodeLoad>> result;
-  result.reserve(nodes_.size());
-  for (const auto& [id, node] : nodes_) result.emplace_back(id, node.load);
+  result.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    result.emplace_back(ring_[i], loads_[i]);
+  }
   return result;
 }
 
 void DhtNetwork::ResetLoads() {
-  for (auto& [id, node] : nodes_) node.load = NodeLoad{};
+  std::fill(loads_.begin(), loads_.end(), NodeLoad{});
 }
 
 void DhtNetwork::AdvanceClock(uint64_t ticks) {
   now_ += ticks;
-  for (auto& [id, node] : nodes_) node.store.ExpireUntil(now_);
+  if (earliest_expiry_ > now_) return;  // nothing can be due yet
+  uint64_t next = kNoExpiry;
+  for (auto& [id, store] : nodes_) {
+    // MinExpiry is a stale-low bound: a false positive costs one
+    // ExpireUntil call that pops only stale heap entries.
+    if (store.MinExpiry() <= now_) store.ExpireUntil(now_);
+    next = std::min(next, store.MinExpiry());
+  }
+  earliest_expiry_ = next;
 }
 
 size_t DhtNetwork::TotalStorageBytes() const {
   size_t total = 0;
-  for (const auto& [id, node] : nodes_) total += node.store.SizeBytes();
+  for (const auto& [id, store] : nodes_) total += store.SizeBytes();
   return total;
 }
 

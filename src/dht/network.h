@@ -16,6 +16,12 @@
 // The simulator models a *converged* overlay: routing state is resolved
 // against the global membership map, which matches the paper's
 // evaluation setting. It is single-threaded and deterministic.
+//
+// Membership is mirrored into a flat sorted vector of live IDs (the
+// "ring index") so every ring query — successor, predecessor, range
+// count, random node — is a binary search over contiguous memory
+// instead of a std::map walk. Geometries hang derived routing state
+// (finger tables, bucket caches) off OnMembershipChange().
 
 #ifndef DHS_DHT_NETWORK_H_
 #define DHS_DHT_NETWORK_H_
@@ -91,10 +97,10 @@ class DhtNetwork {
   Status FailNode(uint64_t node_id);
 
   bool Contains(uint64_t node_id) const { return nodes_.count(node_id) > 0; }
-  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumNodes() const { return ring_.size(); }
 
   /// All live node IDs in ascending order.
-  std::vector<uint64_t> NodeIds() const;
+  std::vector<uint64_t> NodeIds() const { return ring_; }
 
   /// Uniformly random live node. Requires a non-empty network.
   uint64_t RandomNode(Rng& rng) const;
@@ -111,6 +117,7 @@ class DhtNetwork {
   StatusOr<uint64_t> PredecessorOfNode(uint64_t node_id) const;
 
   /// Number of live nodes with ID in the ring range [lo, hi) (§4.1).
+  /// O(log N): two binary searches over the ring index.
   size_t CountNodesInRange(uint64_t lo, uint64_t hi) const;
 
   /// Candidate holders (beyond `start_node`) for keys of the
@@ -136,17 +143,20 @@ class DhtNetwork {
   /// Full insert primitive: Lookup(dht_key) then store at the
   /// responsible node. Returns the storing node.
   StatusOr<uint64_t> Put(uint64_t from_node, uint64_t dht_key,
-                         const std::string& app_key, std::string value,
+                         StoreKey app_key, std::string value,
                          uint64_t ttl_ticks);
 
   /// Full lookup primitive; NotFound if the key has no live record.
   StatusOr<std::string> GetValue(uint64_t from_node, uint64_t dht_key,
-                                 const std::string& app_key);
+                                 const StoreKey& app_key);
 
   // ---- Direct state access (simulator-level, uncharged) ------------------
 
   NodeStore* StoreAt(uint64_t node_id);
   const NodeStore* StoreAt(uint64_t node_id) const;
+
+  /// Load counters of a live node. The pointer is invalidated by the
+  /// next membership change; use it immediately.
   NodeLoad* LoadAt(uint64_t node_id);
 
   std::vector<std::pair<uint64_t, NodeLoad>> Loads() const;
@@ -157,6 +167,9 @@ class DhtNetwork {
   uint64_t now() const { return now_; }
 
   /// Advances the clock and expires soft-state records network-wide.
+  /// O(1) when no store holds a record due by the new time: every store
+  /// pushes its earliest finite expiry into a shared watermark, and the
+  /// tick returns immediately while now < watermark.
   void AdvanceClock(uint64_t ticks);
 
   // ---- Cost accounting ----------------------------------------------------
@@ -172,15 +185,16 @@ class DhtNetwork {
   size_t TotalStorageBytes() const;
 
  protected:
-  struct Node {
-    NodeStore store;
-    NodeLoad load;
-  };
-  using NodeMap = std::map<uint64_t, Node>;
+  using NodeMap = std::map<uint64_t, NodeStore>;
 
-  /// Geometry-specific greedy next hop toward `key`; returns `current`
-  /// when `current` is responsible.
-  virtual uint64_t NextHop(uint64_t current, uint64_t key) const = 0;
+  /// Geometry-specific greedy next hop toward `key`, in ring-index
+  /// space: `current_idx` is the position of the current node (ID
+  /// `current_id`) in ring(), and the returned value is the position of
+  /// the next hop — `current_idx` itself when the current node is
+  /// responsible. Index space keeps the routed hot loop free of id →
+  /// node searches.
+  virtual size_t NextHopIndex(size_t current_idx, uint64_t current_id,
+                              uint64_t key) const = 0;
 
   /// Re-homes records after `node_id` joined. The default scans every
   /// node and moves records whose responsible node changed — always
@@ -188,9 +202,24 @@ class DhtNetwork {
   /// version (Chord: only the successor can lose keys).
   virtual void MigrateOnJoin(uint64_t new_node_id);
 
-  /// First live node with ID >= key, wrapping.
-  NodeMap::const_iterator RingSuccessor(uint64_t key) const;
-  NodeMap::iterator RingSuccessor(uint64_t key);
+  /// Invoked after every ring_ mutation (join/leave/fail), before any
+  /// migration. Geometries drop derived routing state (finger tables,
+  /// bucket caches) here.
+  virtual void OnMembershipChange() {}
+
+  /// Sorted vector of all live node IDs (the ring index).
+  const std::vector<uint64_t>& ring() const { return ring_; }
+
+  /// ID of the first live node >= key, wrapping. Requires a non-empty
+  /// network.
+  uint64_t RingSuccessorId(uint64_t key) const;
+
+  /// Index into ring() of the first live node >= key (ring().size() is
+  /// clamped to 0, i.e. wrap). Requires a non-empty network.
+  size_t RingSuccessorIndex(uint64_t key) const;
+
+  /// Index into ring() of a live node (exact match required).
+  size_t RingIndexOf(uint64_t node_id) const;
 
   OverlayConfig config_;
   IdSpace space_;
@@ -198,6 +227,16 @@ class DhtNetwork {
   NodeMap nodes_;
   MessageStats stats_;
   uint64_t now_ = 0;
+
+ private:
+  void RingInsert(uint64_t node_id);
+  void RingErase(uint64_t node_id);
+
+  std::vector<uint64_t> ring_;    // sorted live IDs
+  std::vector<NodeLoad> loads_;   // parallel to ring_: dense, so the
+                                  // per-hop counter update in Lookup
+                                  // never chases a map node
+  uint64_t earliest_expiry_ = kNoExpiry;  // lower bound over all stores
 };
 
 }  // namespace dhs

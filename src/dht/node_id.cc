@@ -10,23 +10,6 @@ IdSpace::IdSpace(int bits) : bits_(bits) {
   mask_ = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
 }
 
-bool IdSpace::InIntervalExclIncl(uint64_t x, uint64_t a, uint64_t b) const {
-  x &= mask_;
-  a &= mask_;
-  b &= mask_;
-  if (a == b) return true;  // the whole ring (single-node case)
-  // x in (a, b]  <=>  dist(a, x) <= dist(a, b) and x != a.
-  return x != a && Distance(a, x) <= Distance(a, b);
-}
-
-bool IdSpace::InIntervalExclExcl(uint64_t x, uint64_t a, uint64_t b) const {
-  x &= mask_;
-  a &= mask_;
-  b &= mask_;
-  if (a == b) return x != a;  // whole ring minus the endpoint
-  return x != a && x != b && Distance(a, x) < Distance(a, b);
-}
-
 std::string IdSpace::ToString(uint64_t id) const {
   char buf[32];
   const int digits = (bits_ + 3) / 4;

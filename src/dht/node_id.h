@@ -51,11 +51,25 @@ class IdSpace {
 
   /// True iff x lies in the half-open ring interval (a, b]. By Chord
   /// convention, node successor(k) is responsible for k when
-  /// k in (predecessor, successor].
-  bool InIntervalExclIncl(uint64_t x, uint64_t a, uint64_t b) const;
+  /// k in (predecessor, successor]. Inline: evaluated per routing hop.
+  bool InIntervalExclIncl(uint64_t x, uint64_t a, uint64_t b) const {
+    x &= mask_;
+    a &= mask_;
+    b &= mask_;
+    if (a == b) return true;  // the whole ring (single-node case)
+    // x in (a, b]  <=>  dist(a, x) <= dist(a, b) and x != a.
+    return x != a && Distance(a, x) <= Distance(a, b);
+  }
 
-  /// True iff x lies in the open ring interval (a, b).
-  bool InIntervalExclExcl(uint64_t x, uint64_t a, uint64_t b) const;
+  /// True iff x lies in the open ring interval (a, b). Inline:
+  /// evaluated per finger probe.
+  bool InIntervalExclExcl(uint64_t x, uint64_t a, uint64_t b) const {
+    x &= mask_;
+    a &= mask_;
+    b &= mask_;
+    if (a == b) return x != a;  // whole ring minus the endpoint
+    return x != a && x != b && Distance(a, x) < Distance(a, b);
+  }
 
   /// Hex rendering, zero-padded to ceil(bits/4) digits.
   std::string ToString(uint64_t id) const;

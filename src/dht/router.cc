@@ -1,35 +1,32 @@
-// Greedy Chord finger routing.
-
-#include <cassert>
+// Greedy Chord finger routing over materialized finger tables.
 
 #include "common/bit_util.h"
 #include "dht/chord.h"
 
 namespace dhs {
 
-uint64_t ChordNetwork::NextHop(uint64_t current, uint64_t key) const {
+size_t ChordNetwork::NextHopIndex(size_t current_idx, uint64_t current_id,
+                                  uint64_t key) const {
+  FingerTable& table = TableAt(current_idx);
+
   // Responsible already? Chord: `current` is responsible for key when
   // key in (predecessor(current), current].
-  auto pred = PredecessorOfNode(current);
-  assert(pred.ok());
-  if (space_.InIntervalExclIncl(key, pred.value(), current)) {
-    return current;
+  if (space_.InIntervalExclIncl(key, table.predecessor, current_id)) {
+    return current_idx;
   }
 
   // Closest preceding finger: the farthest finger that lands strictly
   // between current and key. Finger i points at successor(current + 2^i).
-  const uint64_t dist = space_.Distance(current, key);
+  const uint64_t dist = space_.Distance(current_id, key);
   for (int i = dist > 1 ? Log2Floor(dist) : 0; i >= 0; --i) {
-    const uint64_t finger_start = space_.Add(current, uint64_t{1} << i);
-    const uint64_t finger = RingSuccessor(finger_start)->first;
-    if (space_.InIntervalExclExcl(finger, current, key)) {
-      return finger;
+    const size_t finger_idx = FingerIndex(table, current_id, i);
+    if (space_.InIntervalExclExcl(ring()[finger_idx], current_id, key)) {
+      return finger_idx;
     }
   }
-  // No finger strictly precedes the key: the successor is responsible.
-  auto succ = SuccessorOfNode(current);
-  assert(succ.ok());
-  return succ.value();
+  // No finger strictly precedes the key: the successor (finger 0) is
+  // responsible.
+  return FingerIndex(table, current_id, 0);
 }
 
 }  // namespace dhs

@@ -1,55 +1,127 @@
 #include "dht/store.h"
 
+#include <utility>
+
 namespace dhs {
 
-void NodeStore::Put(uint64_t dht_key, const std::string& app_key,
-                    std::string value, uint64_t expires_at) {
-  StoreRecord& rec = records_[app_key];
+std::string StoreKey::ToBytes() const {
+  if (kind_ == kRaw) return raw_;
+  std::string bytes;
+  bytes.reserve(kDhsEncodedBytes);
+  bytes.push_back('D');
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    bytes.push_back(static_cast<char>((metric_ >> shift) & 0xff));
+  }
+  bytes.push_back(static_cast<char>(bit_));
+  bytes.push_back(static_cast<char>((vector_ >> 8) & 0xff));
+  bytes.push_back(static_cast<char>(vector_ & 0xff));
+  return bytes;
+}
+
+void NodeStore::NoteExpiry(const StoreKey& key, uint64_t expires_at) {
+  if (expires_at == kNoExpiry) return;
+  expiry_heap_.push(ExpiryEntry{expires_at, key});
+  if (watermark_ != nullptr && expires_at < *watermark_) {
+    *watermark_ = expires_at;
+  }
+}
+
+NodeStore::RecordMap::iterator NodeStore::EraseIt(RecordMap::iterator it) {
+  size_bytes_ -= it->first.SizeBytes() + it->second.value.size();
+  return records_.erase(it);
+}
+
+void NodeStore::Put(uint64_t dht_key, StoreKey app_key, std::string value,
+                    uint64_t expires_at) {
+  auto [it, inserted] = records_.try_emplace(std::move(app_key));
+  StoreRecord& rec = it->second;
+  if (inserted) {
+    size_bytes_ += it->first.SizeBytes();
+    NoteExpiry(it->first, expires_at);
+  } else {
+    size_bytes_ -= rec.value.size();
+    // Only a strictly earlier deadline needs a fresh heap entry; a
+    // refresh to a later one leaves the old entry to be skipped when
+    // popped (lazy deletion).
+    if (expires_at < rec.expires_at) NoteExpiry(it->first, expires_at);
+  }
   rec.dht_key = dht_key;
   rec.value = std::move(value);
   rec.expires_at = expires_at;
+  size_bytes_ += rec.value.size();
 }
 
-const StoreRecord* NodeStore::Get(const std::string& app_key, uint64_t now) {
+const StoreRecord* NodeStore::Get(const StoreKey& app_key, uint64_t now) {
   auto it = records_.find(app_key);
   if (it == records_.end()) return nullptr;
   if (it->second.expires_at <= now) {
-    records_.erase(it);
+    EraseIt(it);
     return nullptr;
   }
   return &it->second;
 }
 
-bool NodeStore::Erase(const std::string& app_key) {
-  return records_.erase(app_key) > 0;
+bool NodeStore::Erase(const StoreKey& app_key) {
+  auto it = records_.find(app_key);
+  if (it == records_.end()) return false;
+  EraseIt(it);
+  return true;
 }
 
 size_t NodeStore::ExpireUntil(uint64_t now) {
   size_t dropped = 0;
-  for (auto it = records_.begin(); it != records_.end();) {
-    if (it->second.expires_at <= now) {
-      it = records_.erase(it);
+  while (!expiry_heap_.empty() && expiry_heap_.top().expires_at <= now) {
+    const ExpiryEntry& entry = expiry_heap_.top();
+    auto it = records_.find(entry.key);
+    expiry_heap_.pop();
+    // A heap entry is stale when its record was refreshed to a later
+    // deadline, erased, or already reaped via a duplicate entry.
+    if (it != records_.end() && it->second.expires_at <= now) {
+      EraseIt(it);
       ++dropped;
-    } else {
-      ++it;
     }
   }
   return dropped;
 }
 
 void NodeStore::MigrateAll(NodeStore& dest) {
-  for (auto& [key, rec] : records_) {
-    dest.records_[key] = std::move(rec);
+  if (this == &dest || records_.empty()) return;
+  // merge() moves only keys absent from dest; pre-erase collisions so
+  // the incoming record wins (last-writer-wins, as migration always
+  // did), and register the travelling expiries with dest's heap.
+  for (const auto& [key, rec] : records_) {
+    auto hit = dest.records_.find(key);
+    if (hit != dest.records_.end()) dest.EraseIt(hit);
+    dest.NoteExpiry(key, rec.expires_at);
   }
-  records_.clear();
+  dest.size_bytes_ += size_bytes_;
+  dest.records_.merge(records_);
+  size_bytes_ = 0;
+  expiry_heap_ = {};
 }
 
-size_t NodeStore::SizeBytes() const {
-  size_t total = 0;
-  for (const auto& [key, rec] : records_) {
-    total += key.size() + rec.value.size();
-  }
-  return total;
+NodeStore::RecordMap NodeStore::TakeRecords(uint64_t now) {
+  ExpireUntil(now);
+  RecordMap out = std::move(records_);
+  records_.clear();
+  expiry_heap_ = {};
+  size_bytes_ = 0;
+  return out;
+}
+
+void NodeStore::Adopt(RecordMap::node_type&& node) {
+  auto hit = records_.find(node.key());
+  if (hit != records_.end()) EraseIt(hit);
+  auto result = records_.insert(std::move(node));
+  size_bytes_ += result.position->first.SizeBytes() +
+                 result.position->second.value.size();
+  NoteExpiry(result.position->first, result.position->second.expires_at);
+}
+
+void NodeStore::Clear() {
+  records_.clear();
+  expiry_heap_ = {};
+  size_bytes_ = 0;
 }
 
 }  // namespace dhs

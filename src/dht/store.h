@@ -4,6 +4,13 @@
 // migrate them on membership change) and an absolute expiry tick
 // (soft-state deletion, §3.3 of the paper: entries age out unless
 // refreshed).
+//
+// Keys are StoreKey values: either a packed DHS coordinate
+// (metric, bit, vector) held inline with no heap allocation, or an
+// arbitrary raw byte string (the escape hatch for non-DHS users such as
+// the baselines). Expiry is tracked by a lazy min-heap per store so
+// that advancing the virtual clock touches only stores whose earliest
+// record is actually due, instead of rescanning every record.
 
 #ifndef DHS_DHT_STORE_H_
 #define DHS_DHT_STORE_H_
@@ -11,7 +18,11 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <queue>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -20,6 +31,79 @@ namespace dhs {
 /// Expiry value meaning "never expires".
 inline constexpr uint64_t kNoExpiry = std::numeric_limits<uint64_t>::max();
 
+/// Storage key: packed DHS coordinate or raw bytes.
+///
+/// Packed keys compare as (metric, bit, vector) integer tuples, which is
+/// exactly the byte order of the historical string encoding
+/// 'D' | metric (8B BE) | bit (1B) | vector (2B BE) — range scans
+/// therefore see records in the same order as the string-keyed store
+/// did. All packed keys sort before all raw keys; the two sections never
+/// interleave.
+class StoreKey {
+ public:
+  /// Byte length of the encoded DHS key; packed keys count as this in
+  /// the storage-load metric (identical to the old string keys).
+  static constexpr size_t kDhsEncodedBytes = 12;
+
+  StoreKey() = default;  // empty raw key
+  // Implicit by design: raw string app-keys keep working unchanged.
+  StoreKey(std::string raw) : kind_(kRaw), raw_(std::move(raw)) {}
+  StoreKey(const char* raw) : kind_(kRaw), raw_(raw) {}
+
+  static StoreKey Dhs(uint64_t metric_id, int bit, int vector_id) {
+    StoreKey key;
+    key.kind_ = kDhs;
+    key.metric_ = metric_id;
+    key.bit_ = static_cast<uint8_t>(bit);
+    key.vector_ = static_cast<uint16_t>(vector_id);
+    key.raw_.clear();
+    return key;
+  }
+
+  bool is_dhs() const { return kind_ == kDhs; }
+  uint64_t metric_id() const { return metric_; }
+  int bit() const { return bit_; }
+  int vector_id() const { return vector_; }
+  const std::string& raw() const { return raw_; }
+
+  /// Bytes this key contributes to payload and storage accounting.
+  size_t SizeBytes() const {
+    return kind_ == kDhs ? kDhsEncodedBytes : raw_.size();
+  }
+
+  /// The historical byte encoding (diagnostics / cross-impl dumps).
+  std::string ToBytes() const;
+
+  friend bool operator==(const StoreKey& a, const StoreKey& b) {
+    if (a.kind_ != b.kind_) return false;
+    if (a.kind_ == kDhs) {
+      return a.metric_ == b.metric_ && a.bit_ == b.bit_ &&
+             a.vector_ == b.vector_;
+    }
+    return a.raw_ == b.raw_;
+  }
+  friend bool operator!=(const StoreKey& a, const StoreKey& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const StoreKey& a, const StoreKey& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;  // DHS section first
+    if (a.kind_ == kDhs) {
+      return std::tie(a.metric_, a.bit_, a.vector_) <
+             std::tie(b.metric_, b.bit_, b.vector_);
+    }
+    return a.raw_ < b.raw_;
+  }
+
+ private:
+  enum Kind : uint8_t { kDhs = 0, kRaw = 1 };
+
+  Kind kind_ = kRaw;
+  uint8_t bit_ = 0;
+  uint16_t vector_ = 0;
+  uint64_t metric_ = 0;
+  std::string raw_;
+};
+
 /// One stored record.
 struct StoreRecord {
   uint64_t dht_key = 0;          // routing key the record was stored under
@@ -27,65 +111,154 @@ struct StoreRecord {
   uint64_t expires_at = kNoExpiry;  // absolute virtual-clock tick
 };
 
-/// The storage hosted by a single overlay node. Keys are application-level
-/// byte strings (the DHS layer packs metric/vector/bit into them); the map
-/// is ordered so prefix scans are O(log n + matches).
+/// The storage hosted by a single overlay node. The map is ordered so
+/// (metric, bit) scans are O(log n + matches); a lazy expiry heap makes
+/// "anything due?" an O(1) question.
 class NodeStore {
  public:
+  using RecordMap = std::map<StoreKey, StoreRecord>;
+
   /// Inserts or refreshes a record. Refreshing updates value, dht_key and
   /// expiry (the paper's timestamp-reset on update).
-  void Put(uint64_t dht_key, const std::string& app_key, std::string value,
+  void Put(uint64_t dht_key, StoreKey app_key, std::string value,
            uint64_t expires_at);
 
   /// Returns the live record for `app_key`, or nullptr. Records whose
   /// expiry is <= now are treated as absent (and lazily erased).
-  const StoreRecord* Get(const std::string& app_key, uint64_t now);
+  const StoreRecord* Get(const StoreKey& app_key, uint64_t now);
 
   /// Removes a record; returns true if present.
-  bool Erase(const std::string& app_key);
+  bool Erase(const StoreKey& app_key);
 
   /// Drops every record with expires_at <= now. Returns number dropped.
+  /// Cost is O(due log heap), not O(records).
   size_t ExpireUntil(uint64_t now);
 
-  /// Invokes fn(app_key, record) for each live record whose key starts
-  /// with `prefix`. `fn` must not mutate the store.
+  /// Lower bound on the earliest finite expiry held (kNoExpiry if none).
+  /// May be stale-low after refreshes/erases — callers use it as a cheap
+  /// "nothing can be due yet" filter, never as an exact value.
+  uint64_t MinExpiry() const {
+    return expiry_heap_.empty() ? kNoExpiry : expiry_heap_.top().expires_at;
+  }
+
+  /// Points this store at a network-level watermark: every Put of a
+  /// finite expiry lowers *watermark so the network can skip clock
+  /// advances that cannot expire anything. Optional (tests use unbound
+  /// stores).
+  void BindExpiryWatermark(uint64_t* watermark) { watermark_ = watermark; }
+
+  /// Invokes fn(key, record) for each live record of (metric_id, bit),
+  /// in ascending vector order. `fn` must not mutate the store.
   template <typename Fn>
-  void ForEachWithPrefix(const std::string& prefix, uint64_t now,
-                         Fn&& fn) const {
-    for (auto it = records_.lower_bound(prefix);
-         it != records_.end() && it->first.compare(0, prefix.size(), prefix,
-                                                   0, prefix.size()) == 0;
-         ++it) {
-      if (it->second.expires_at > now) fn(it->first, it->second);
+  void ForEachDhs(uint64_t metric_id, int bit, uint64_t now,
+                  Fn&& fn) const {
+    auto it = records_.lower_bound(StoreKey::Dhs(metric_id, bit, 0));
+    for (; it != records_.end(); ++it) {
+      const StoreKey& key = it->first;
+      if (!key.is_dhs() || key.metric_id() != metric_id ||
+          key.bit() != bit) {
+        break;
+      }
+      if (it->second.expires_at > now) fn(key, it->second);
     }
   }
 
-  /// Moves every record with dht_key in the ring interval selected by
-  /// `predicate` into `dest` (membership-change migration).
+  /// Invokes fn(key, record) for each live record of `metric_id` across
+  /// all bits, in (bit, vector) order.
+  template <typename Fn>
+  void ForEachDhsMetric(uint64_t metric_id, uint64_t now, Fn&& fn) const {
+    auto it = records_.lower_bound(StoreKey::Dhs(metric_id, 0, 0));
+    for (; it != records_.end(); ++it) {
+      const StoreKey& key = it->first;
+      if (!key.is_dhs() || key.metric_id() != metric_id) break;
+      if (it->second.expires_at > now) fn(key, it->second);
+    }
+  }
+
+  /// Invokes fn(raw_key, record) for each live raw-keyed record whose
+  /// bytes start with `prefix`. Packed DHS records live in their own
+  /// section and are not visited; use ForEachDhs* for those.
+  template <typename Fn>
+  void ForEachWithPrefix(const std::string& prefix, uint64_t now,
+                         Fn&& fn) const {
+    auto it = records_.lower_bound(StoreKey(prefix));
+    for (; it != records_.end(); ++it) {
+      const std::string& key = it->first.raw();
+      if (key.compare(0, prefix.size(), prefix) != 0) break;
+      if (it->second.expires_at > now) fn(key, it->second);
+    }
+  }
+
+  /// Invokes fn(key, record) for every live record (both sections).
+  template <typename Fn>
+  void ForEach(uint64_t now, Fn&& fn) const {
+    for (const auto& [key, rec] : records_) {
+      if (rec.expires_at > now) fn(key, rec);
+    }
+  }
+
+  /// Moves every record with dht_key selected by `predicate` into `dest`
+  /// (membership-change migration). Map nodes are spliced over — no
+  /// key/value reallocation.
   template <typename Pred>
   void MigrateIf(Pred&& predicate, NodeStore& dest) {
     for (auto it = records_.begin(); it != records_.end();) {
       if (predicate(it->second.dht_key)) {
-        dest.records_[it->first] = std::move(it->second);
-        it = records_.erase(it);
+        auto next = std::next(it);
+        size_bytes_ -= it->first.SizeBytes() + it->second.value.size();
+        dest.Adopt(records_.extract(it));
+        it = next;
       } else {
         ++it;
       }
     }
   }
 
-  /// Moves everything into `dest` (graceful leave).
+  /// Moves everything into `dest` (graceful leave) via std::map::merge —
+  /// no per-record reallocation. Incoming records replace resident ones
+  /// on key collision (last-writer-wins, as migration always did).
   void MigrateAll(NodeStore& dest);
 
-  void Clear() { records_.clear(); }
+  /// Moves out every record still live at `now` and empties the store
+  /// (graceful-leave re-homing; the caller re-inserts each map node into
+  /// the new responsible store via Adopt()).
+  RecordMap TakeRecords(uint64_t now);
+
+  /// Adopts one extracted map node, replacing any resident record under
+  /// the same key.
+  void Adopt(RecordMap::node_type&& node);
+
+  void Clear();
   size_t NumRecords() const { return records_.size(); }
 
   /// Total payload bytes held (keys + values), the paper's storage-load
-  /// metric.
-  size_t SizeBytes() const;
+  /// metric. O(1): maintained incrementally.
+  size_t SizeBytes() const { return size_bytes_; }
 
  private:
-  std::map<std::string, StoreRecord> records_;
+  struct ExpiryEntry {
+    uint64_t expires_at = 0;
+    StoreKey key;
+  };
+  struct LaterExpiry {
+    bool operator()(const ExpiryEntry& a, const ExpiryEntry& b) const {
+      return a.expires_at > b.expires_at;
+    }
+  };
+
+  /// Records a (possibly new) finite expiry for `key` in the heap and
+  /// pushes the bound watermark down.
+  void NoteExpiry(const StoreKey& key, uint64_t expires_at);
+
+  /// Erases `it`, maintaining the byte accounting. Stale heap entries
+  /// are left behind and skipped when popped.
+  RecordMap::iterator EraseIt(RecordMap::iterator it);
+
+  RecordMap records_;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, LaterExpiry>
+      expiry_heap_;
+  size_t size_bytes_ = 0;
+  uint64_t* watermark_ = nullptr;
 };
 
 }  // namespace dhs

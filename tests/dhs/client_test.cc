@@ -115,13 +115,12 @@ TEST_F(DhsClientTest, InsertStoresTupleInCorrectInterval) {
   ASSERT_TRUE(client->Insert(net_.RandomNode(rng), 77, item, rng).ok());
 
   // Exactly one node must now hold the tuple, keyed within bit 1's
-  // interval, findable under the (metric, bit) prefix.
-  const std::string prefix = MakeDhsPrefix(77, 1);
+  // interval, findable under the (metric, bit) range scan.
   int holders = 0;
   for (uint64_t node : net_.NodeIds()) {
-    net_.StoreAt(node)->ForEachWithPrefix(
-        prefix, net_.now(), [&](const std::string& key, const StoreRecord& rec) {
-          EXPECT_EQ(VectorIdFromDhsKey(key), p.vector_id);
+    net_.StoreAt(node)->ForEachDhs(
+        77, 1, net_.now(), [&](const StoreKey& key, const StoreRecord& rec) {
+          EXPECT_EQ(key.vector_id(), p.vector_id);
           EXPECT_TRUE(client->mapping().IntervalForBit(1)->Contains(
               rec.dht_key));
           ++holders;
@@ -218,11 +217,9 @@ TEST_P(DhsClientEstimatorTest, DuplicateInsensitivity) {
   auto logical_state = [&] {
     std::set<std::pair<int, int>> coords;
     for (uint64_t node : net_.NodeIds()) {
-      net_.StoreAt(node)->ForEachWithPrefix(
-          MakeDhsPrefix(2, 0).substr(0, 9), net_.now(),
-          [&](const std::string& key, const StoreRecord&) {
-            coords.emplace(static_cast<uint8_t>(key[9]),
-                           VectorIdFromDhsKey(key));
+      net_.StoreAt(node)->ForEachDhsMetric(
+          2, net_.now(), [&](const StoreKey& key, const StoreRecord&) {
+            coords.emplace(key.bit(), key.vector_id());
           });
     }
     return coords;
@@ -294,9 +291,9 @@ TEST_F(DhsClientTest, RefreshExtendsTtl) {
   auto count_holders = [&] {
     int holders = 0;
     for (uint64_t node : net_.NodeIds()) {
-      net_.StoreAt(node)->ForEachWithPrefix(
-          MakeDhsPrefix(4, p.rho), net_.now(),
-          [&](const std::string&, const StoreRecord&) { ++holders; });
+      net_.StoreAt(node)->ForEachDhs(
+          4, p.rho, net_.now(),
+          [&](const StoreKey&, const StoreRecord&) { ++holders; });
     }
     return holders;
   };
@@ -317,12 +314,11 @@ TEST_F(DhsClientTest, ReplicationStoresExtraCopies) {
   Rng rng(14);
   ASSERT_TRUE(client->Insert(net_.RandomNode(rng), 6, 0x4, rng).ok());
   const DhsPlacement p = client->PlaceItem(0x4);
-  const std::string prefix = MakeDhsPrefix(6, p.rho);
   int holders = 0;
   for (uint64_t node : net_.NodeIds()) {
-    net_.StoreAt(node)->ForEachWithPrefix(
-        prefix, net_.now(),
-        [&](const std::string&, const StoreRecord&) { ++holders; });
+    net_.StoreAt(node)->ForEachDhs(
+        6, p.rho, net_.now(),
+        [&](const StoreKey&, const StoreRecord&) { ++holders; });
   }
   EXPECT_EQ(holders, 3);
 }

@@ -115,31 +115,45 @@ TEST(BitMappingTest, SmallIdSpace) {
   EXPECT_EQ(total, uint64_t{1} << 16);
 }
 
-TEST(DhsKeyTest, RoundTripVectorId) {
-  const std::string key = MakeDhsKey(0xdeadbeef, 7, 511);
-  EXPECT_EQ(VectorIdFromDhsKey(key), 511);
-  EXPECT_EQ(VectorIdFromDhsKey(MakeDhsKey(1, 2, 0)), 0);
-  EXPECT_EQ(VectorIdFromDhsKey(MakeDhsKey(1, 2, 65535)), 65535);
+TEST(DhsKeyTest, RoundTripCoordinates) {
+  const StoreKey key = MakeDhsKey(0xdeadbeef, 7, 511);
+  EXPECT_TRUE(key.is_dhs());
+  EXPECT_EQ(key.metric_id(), 0xdeadbeefu);
+  EXPECT_EQ(key.bit(), 7);
+  EXPECT_EQ(key.vector_id(), 511);
+  EXPECT_EQ(MakeDhsKey(1, 2, 0).vector_id(), 0);
+  EXPECT_EQ(MakeDhsKey(1, 2, 65535).vector_id(), 65535);
 }
 
-TEST(DhsKeyTest, PrefixIsKeyPrefix) {
-  const std::string prefix = MakeDhsPrefix(0xdeadbeef, 7);
-  const std::string key = MakeDhsKey(0xdeadbeef, 7, 12);
-  EXPECT_EQ(key.substr(0, prefix.size()), prefix);
-  EXPECT_EQ(prefix.size(), 10u);
-  EXPECT_EQ(key.size(), 12u);
+TEST(DhsKeyTest, LegacyEncodingPreserved) {
+  // The on-the-wire byte layout is unchanged from the string-keyed
+  // store: 'D' | metric (8B BE) | bit (1B) | vector (2B BE).
+  const std::string bytes = MakeDhsKey(0xdeadbeef, 7, 12).ToBytes();
+  ASSERT_EQ(bytes.size(), StoreKey::kDhsEncodedBytes);
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(static_cast<uint8_t>(bytes[5]), 0xde);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[8]), 0xef);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[9]), 7);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[10]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[11]), 12);
+  EXPECT_EQ(MakeDhsKey(0xdeadbeef, 7, 12).SizeBytes(), bytes.size());
 }
 
 TEST(DhsKeyTest, DistinctCoordinatesDistinctKeys) {
   EXPECT_NE(MakeDhsKey(1, 2, 3), MakeDhsKey(1, 2, 4));
   EXPECT_NE(MakeDhsKey(1, 2, 3), MakeDhsKey(1, 3, 3));
   EXPECT_NE(MakeDhsKey(1, 2, 3), MakeDhsKey(2, 2, 3));
-  EXPECT_NE(MakeDhsPrefix(1, 2), MakeDhsPrefix(2, 1));
+  EXPECT_EQ(MakeDhsKey(1, 2, 3), MakeDhsKey(1, 2, 3));
 }
 
-TEST(DhsKeyTest, MalformedKeyYieldsNegativeVector) {
-  EXPECT_EQ(VectorIdFromDhsKey(""), -1);
-  EXPECT_EQ(VectorIdFromDhsKey("short"), -1);
+TEST(DhsKeyTest, OrdersByMetricThenBitThenVector) {
+  // Matches the byte order of the legacy string encoding, so range scans
+  // visit records in the historical order.
+  EXPECT_LT(MakeDhsKey(1, 9, 9), MakeDhsKey(2, 0, 0));
+  EXPECT_LT(MakeDhsKey(1, 2, 9), MakeDhsKey(1, 3, 0));
+  EXPECT_LT(MakeDhsKey(1, 2, 3), MakeDhsKey(1, 2, 4));
+  // DHS keys sort before raw string keys.
+  EXPECT_LT(MakeDhsKey(0xffffffffffffffffull, 255, 65535), StoreKey(""));
 }
 
 TEST(IdIntervalTest, ContainsIsHalfOpen) {

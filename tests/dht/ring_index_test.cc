@@ -1,0 +1,186 @@
+// Regression tests for the flat ring index (sorted live-ID vector) and
+// the derived routing state hung off it (Chord finger tables, Kademlia
+// bucket caches). Focus areas:
+//
+//   * wrap-around correctness — CountNodesInRange across the 2^L
+//     boundary, Successor/Predecessor at the ring extremes;
+//   * invalidation — after interleaved AddNode/RemoveNode/FailNode the
+//     cached state must never serve routes from a stale membership view
+//     (every route is checked against a brute-force reference).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+
+namespace dhs {
+namespace {
+
+enum class Geometry { kChord, kKademlia };
+
+std::unique_ptr<DhtNetwork> MakeOverlay(Geometry geometry, int id_bits = 64) {
+  OverlayConfig config;
+  config.id_bits = id_bits;
+  config.hasher = "mix";
+  if (geometry == Geometry::kChord) {
+    return std::make_unique<ChordNetwork>(config);
+  }
+  return std::make_unique<KademliaNetwork>(config);
+}
+
+// O(N) reference for CountNodesInRange over an explicit ID list.
+size_t BruteCount(const std::vector<uint64_t>& ids, uint64_t lo,
+                  uint64_t hi) {
+  if (lo == hi) return 0;
+  size_t count = 0;
+  for (uint64_t id : ids) {
+    const bool inside = lo < hi ? (id >= lo && id < hi)   // plain range
+                                : (id >= lo || id < hi);  // wraps 2^L
+    if (inside) ++count;
+  }
+  return count;
+}
+
+class RingIndexTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(RingIndexTest, CountNodesInRangeWrapsAroundTop) {
+  auto net = MakeOverlay(GetParam());
+  const uint64_t top = ~uint64_t{0};
+  const std::vector<uint64_t> ids = {0,       1,         top,
+                                     top - 1, uint64_t{1} << 63, 42};
+  for (uint64_t id : ids) ASSERT_TRUE(net->AddNode(id).ok());
+
+  // Range straddling the 2^64 boundary: [top-1, 2) = {top-1, top, 0, 1}.
+  EXPECT_EQ(net->CountNodesInRange(top - 1, 2), 4u);
+  // Degenerate empty range.
+  EXPECT_EQ(net->CountNodesInRange(5, 5), 0u);
+  // lo > hi with nothing between: (top of ring only).
+  EXPECT_EQ(net->CountNodesInRange(top, 0), 1u);
+  // Full sweep of random ranges against the brute-force reference.
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t lo = rng.Next();
+    const uint64_t hi = rng.Next();
+    ASSERT_EQ(net->CountNodesInRange(lo, hi), BruteCount(ids, lo, hi))
+        << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST_P(RingIndexTest, CountNodesInRangeWrapsInNarrowSpace) {
+  // Same property in a 16-bit space, where Clamp actually truncates.
+  auto net = MakeOverlay(GetParam(), 16);
+  std::vector<uint64_t> ids = {0, 1, 0xfffe, 0xffff, 0x8000};
+  for (uint64_t id : ids) ASSERT_TRUE(net->AddNode(id).ok());
+  EXPECT_EQ(net->CountNodesInRange(0xfffe, 2), 4u);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t lo = rng.Next() & 0xffff;
+    const uint64_t hi = rng.Next() & 0xffff;
+    ASSERT_EQ(net->CountNodesInRange(lo, hi), BruteCount(ids, lo, hi));
+  }
+}
+
+TEST_P(RingIndexTest, SuccessorPredecessorAtExtremes) {
+  auto net = MakeOverlay(GetParam());
+  const uint64_t top = ~uint64_t{0};
+  for (uint64_t id : {uint64_t{0}, uint64_t{100}, top}) {
+    ASSERT_TRUE(net->AddNode(id).ok());
+  }
+  // Successor walks wrap highest -> lowest.
+  EXPECT_EQ(net->SuccessorOfNode(top).value(), 0u);
+  EXPECT_EQ(net->SuccessorOfNode(0).value(), 100u);
+  EXPECT_EQ(net->SuccessorOfNode(100).value(), top);
+  // Predecessor walks wrap lowest -> highest.
+  EXPECT_EQ(net->PredecessorOfNode(0).value(), top);
+  EXPECT_EQ(net->PredecessorOfNode(top).value(), 100u);
+  EXPECT_EQ(net->PredecessorOfNode(100).value(), 0u);
+  // Queries between nodes resolve to ring neighbours as well.
+  EXPECT_EQ(net->SuccessorOfNode(101).value(), top);
+  EXPECT_EQ(net->PredecessorOfNode(99).value(), 0u);
+}
+
+TEST_P(RingIndexTest, SingleNodeRingIsItsOwnNeighbour) {
+  auto net = MakeOverlay(GetParam());
+  ASSERT_TRUE(net->AddNode(12345).ok());
+  EXPECT_EQ(net->SuccessorOfNode(12345).value(), 12345u);
+  EXPECT_EQ(net->PredecessorOfNode(12345).value(), 12345u);
+  EXPECT_EQ(net->CountNodesInRange(0, 12345), 0u);
+  EXPECT_EQ(net->CountNodesInRange(12345, 12346), 1u);
+}
+
+// After every membership change, routed lookups must land on the node a
+// brute-force scan says is responsible, and hop counts must stay sane.
+// This is the regression net for stale finger tables / bucket caches:
+// a cache that survives a membership change routes to dead or wrong
+// nodes here.
+TEST_P(RingIndexTest, RoutesMatchBruteForceUnderChurn) {
+  auto net = MakeOverlay(GetParam());
+  Rng rng(2026);
+  std::vector<uint64_t> live;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t id = rng.Next();
+    if (net->AddNode(id).ok()) live.push_back(id);
+  }
+
+  auto brute_responsible = [&](uint64_t key) {
+    // Chord: successor on the ring. Kademlia: XOR-closest.
+    uint64_t best = live[0];
+    for (uint64_t id : live) {
+      if (GetParam() == Geometry::kChord) {
+        const uint64_t dist_best = best - key;  // (best - key) mod 2^64
+        const uint64_t dist_id = id - key;
+        if (dist_id < dist_best) best = id;
+      } else {
+        if ((id ^ key) < (best ^ key)) best = id;
+      }
+    }
+    return best;
+  };
+
+  auto check_routes = [&](int probes) {
+    for (int i = 0; i < probes; ++i) {
+      const uint64_t key = rng.Next();
+      const uint64_t from = live[rng.UniformU64(live.size())];
+      auto result = net->Lookup(from, key);
+      ASSERT_TRUE(result.ok());
+      ASSERT_EQ(result->node, brute_responsible(key)) << "key=" << key;
+      ASSERT_LE(result->hops, 64);
+    }
+  };
+
+  check_routes(50);
+  for (int round = 0; round < 40; ++round) {
+    const int action = static_cast<int>(rng.UniformU64(3));
+    if (action == 0 || live.size() < 8) {
+      const uint64_t id = rng.Next();
+      if (net->AddNode(id).ok()) live.push_back(id);
+    } else {
+      const size_t victim = rng.UniformU64(live.size());
+      const uint64_t id = live[victim];
+      live.erase(live.begin() + static_cast<long>(victim));
+      if (action == 1) {
+        ASSERT_TRUE(net->RemoveNode(id).ok());
+      } else {
+        ASSERT_TRUE(net->FailNode(id).ok());
+      }
+    }
+    check_routes(25);  // every round revalidates cached routing state
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGeometries, RingIndexTest,
+                         ::testing::Values(Geometry::kChord,
+                                           Geometry::kKademlia),
+                         [](const ::testing::TestParamInfo<Geometry>& info) {
+                           return info.param == Geometry::kChord
+                                      ? "Chord"
+                                      : "Kademlia";
+                         });
+
+}  // namespace
+}  // namespace dhs

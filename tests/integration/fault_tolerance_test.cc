@@ -190,16 +190,12 @@ TEST_F(FaultToleranceTest, MissProbabilityDropsWithReplication) {
   // store: after failing 20% of nodes, count how many logical tuples
   // survive with and without replication.
   auto count_coordinates = [&](uint64_t metric) {
-    std::set<std::string> coords;
+    std::set<std::pair<int, int>> coords;
     for (uint64_t node : net_->NodeIds()) {
-      std::string prefix = "D";
-      for (int i = 7; i >= 0; --i) {
-        prefix.push_back(static_cast<char>((metric >> (8 * i)) & 0xff));
-      }
-      net_->StoreAt(node)->ForEachWithPrefix(
-          prefix, net_->now(),
-          [&](const std::string& key, const StoreRecord&) {
-            coords.insert(key);
+      net_->StoreAt(node)->ForEachDhsMetric(
+          metric, net_->now(),
+          [&](const StoreKey& key, const StoreRecord&) {
+            coords.emplace(key.bit(), key.vector_id());
           });
     }
     return coords.size();
