@@ -99,7 +99,7 @@ void Run() {
   PrintRow({"pessimal", mb(worst->transfer_bytes),
             worst->OrderString(exact)}, 22);
   std::printf("histogram reconstruction cost: %.2f MB (all 4 relations)\n",
-              reconstruction_bytes / 1e6);
+              static_cast<double>(reconstruction_bytes) / 1e6);
   PrintPaperNote("[17]: optimal 47 MB vs FREddies 71 MB; DHS histogram "
                  "reconstruction ~1 MB — negligible next to either");
 }

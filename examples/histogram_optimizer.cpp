@@ -102,7 +102,7 @@ int main() {
               worst->transfer_bytes / 1e6);
   std::printf("  statistics cost: %.2f MB for all three histograms — "
               "%.0fx cheaper than the savings (%.1f MB)\n",
-              reconstruction_bytes / 1e6,
+              static_cast<double>(reconstruction_bytes) / 1e6,
               (worst->transfer_bytes - best->transfer_bytes) /
                   static_cast<double>(reconstruction_bytes),
               (worst->transfer_bytes - best->transfer_bytes) / 1e6);

@@ -74,7 +74,7 @@ int main() {
               node_ids.size() * 200, distinct_titles.size());
   std::printf("insertion totals: %llu hops, %.1f kB over the wire\n",
               static_cast<unsigned long long>(network.stats().hops),
-              network.stats().bytes / 1024.0);
+              static_cast<double>(network.stats().bytes) / 1024.0);
 
   // 4. Any node can now count — here an arbitrary one.
   network.ResetStats();

@@ -1,0 +1,40 @@
+#include "common/check.h"
+
+#include <cstdio>
+
+namespace dhs {
+namespace {
+
+void DefaultCheckFailureHandler(const char* file, int line,
+                                const std::string& message) {
+  std::fprintf(stderr, "%s:%d: %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+CheckFailureHandler g_handler = &DefaultCheckFailureHandler;
+
+}  // namespace
+
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
+  CheckFailureHandler previous = g_handler;
+  g_handler = handler != nullptr ? handler : &DefaultCheckFailureHandler;
+  return previous;
+}
+
+namespace check_internal {
+
+FailureStream::FailureStream(const char* file, int line, const char* prefix)
+    : file_(file), line_(line) {
+  message_ << prefix;
+}
+
+FailureStream::~FailureStream() noexcept(false) {
+  g_handler(file_, line_, message_.str());
+  // A handler that returns would let execution continue past a violated
+  // invariant; refuse.
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace dhs

@@ -6,10 +6,11 @@
 #ifndef DHS_COMMON_STATUS_H_
 #define DHS_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace dhs {
 
@@ -86,22 +87,22 @@ class StatusOr {
   /// Implicit from value and from Status, mirroring absl::StatusOr usage.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status");
+    CHECK(!status_.ok()) << "StatusOr constructed from OK status";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CHECK(ok()) << "value() on error status: " << status_.ToString();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CHECK(ok()) << "value() on error status: " << status_.ToString();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CHECK(ok()) << "value() on error status: " << status_.ToString();
     return std::move(*value_);
   }
 

@@ -1,15 +1,16 @@
 #include "common/zipf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace dhs {
 
 ZipfGenerator::ZipfGenerator(uint64_t domain, double theta)
     : domain_(domain), theta_(theta), cdf_(domain) {
-  assert(domain >= 1);
-  assert(theta >= 0.0);
+  CHECK_GE(domain, 1u);
+  CHECK_GE(theta, 0.0);
   double sum = 0.0;
   for (uint64_t i = 0; i < domain; ++i) {
     sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);

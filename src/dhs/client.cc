@@ -1,12 +1,12 @@
 #include "dhs/client.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <map>
 #include <set>
 
 #include "common/bit_util.h"
+#include "common/check.h"
 #include "dhs/lim.h"
 #include "sketch/estimator.h"
 #include "sketch/hyperloglog.h"
@@ -73,7 +73,8 @@ Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
     }
     NodeStore* store = network_->StoreAt(holder);
     NodeLoad* load = network_->LoadAt(holder);
-    assert(store != nullptr && load != nullptr);
+    CHECK(store != nullptr && load != nullptr)
+        << "replica holder " << holder << " vanished mid-insert";
     load->stores += 1;
     for (int vector_id : vector_ids) {
       store->Put(target_key, MakeDhsKey(metric_id, bit, vector_id),
@@ -81,6 +82,12 @@ Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
     }
   }
   return Status::OK();
+}
+
+void DhsClient::MaybeAudit() const {
+  if (!config_.audit) return;
+  CHECK_OK(network_->AuditFull()) << "after a DHS operation";
+  CHECK_OK(AuditFull()) << "after a DHS operation";
 }
 
 Status DhsClient::Insert(uint64_t origin_node, uint64_t metric_id,
@@ -91,8 +98,10 @@ Status DhsClient::Insert(uint64_t origin_node, uint64_t metric_id,
     return Status::OK();
   }
   DhsCostReport cost;
-  return StoreTuple(origin_node, metric_id, placement.rho,
-                    {placement.vector_id}, rng, &cost);
+  Status s = StoreTuple(origin_node, metric_id, placement.rho,
+                        {placement.vector_id}, rng, &cost);
+  MaybeAudit();
+  return s;
 }
 
 Status DhsClient::InsertBatch(uint64_t origin_node, uint64_t metric_id,
@@ -113,6 +122,7 @@ Status DhsClient::InsertBatch(uint64_t origin_node, uint64_t metric_id,
                           &cost);
     if (!s.ok()) return s;
   }
+  MaybeAudit();
   return Status::OK();
 }
 
@@ -223,9 +233,11 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
   }
   // sLL and HLL share the max-rho (high -> low) scan; PCSA scans for the
   // leftmost zero (low -> high).
-  return config_.estimator == DhsEstimator::kPcsa
-             ? CountManyPcsa(origin_node, metric_ids, rng)
-             : CountManySll(origin_node, metric_ids, rng);
+  auto result = config_.estimator == DhsEstimator::kPcsa
+                    ? CountManyPcsa(origin_node, metric_ids, rng)
+                    : CountManySll(origin_node, metric_ids, rng);
+  MaybeAudit();
+  return result;
 }
 
 StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
@@ -340,6 +352,53 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManyPcsa(
     result.estimates.push_back(PcsaEstimateFromM(observed));
   }
   return result;
+}
+
+Status DhsClient::AuditFull() const {
+  Status mapping_ok = mapping_.AuditFull();
+  if (!mapping_ok.ok()) return mapping_ok;
+
+  // Placement <-> mapping agreement: walk every DHS record in every live
+  // store and re-derive where the mapping says it must live.
+  Status violation = Status::OK();
+  const uint64_t now = network_->now();
+  for (uint64_t node_id : network_->NodeIds()) {
+    const NodeStore* store = network_->StoreAt(node_id);
+    CHECK(store != nullptr) << "live node " << node_id << " has no store";
+    store->ForEach(now, [&](const StoreKey& key, const StoreRecord& rec) {
+      if (!violation.ok() || !key.is_dhs()) return;
+      const auto fail = [&](const std::string& what) {
+        violation = Status::Internal(
+            "dhs audit: node " + std::to_string(node_id) + " record (metric " +
+            std::to_string(key.metric_id()) + ", bit " +
+            std::to_string(key.bit()) + ", vector " +
+            std::to_string(key.vector_id()) + "): " + what);
+      };
+      if (key.bit() < mapping_.MinBit() || key.bit() > mapping_.MaxBit()) {
+        fail("bit outside the mapped range [" +
+             std::to_string(mapping_.MinBit()) + ", " +
+             std::to_string(mapping_.MaxBit()) + "]");
+        return;
+      }
+      if (key.vector_id() < 0 || key.vector_id() >= config_.m) {
+        fail("vector id outside [0, " + std::to_string(config_.m) + ")");
+        return;
+      }
+      auto interval = mapping_.IntervalForBit(key.bit());
+      if (!interval.ok()) {
+        fail("IntervalForBit failed: " + interval.status().ToString());
+        return;
+      }
+      if (!interval->Contains(rec.dht_key)) {
+        fail("routing key " + std::to_string(rec.dht_key) +
+             " outside the bit's interval [" + std::to_string(interval->lo) +
+             ", +" + std::to_string(interval->size) +
+             ") — counting walks cannot find it");
+      }
+    });
+    if (!violation.ok()) return violation;
+  }
+  return Status::OK();
 }
 
 }  // namespace dhs

@@ -95,8 +95,20 @@ class DhsClient {
                                        const std::vector<uint64_t>& metric_ids,
                                        Rng& rng);
 
+  /// DHS-level audit: BitMapping::AuditFull plus placement agreement —
+  /// every DHS-typed record in the network must carry a bit inside the
+  /// mapped range [MinBit, MaxBit], a vector id inside [0, m), and a
+  /// routing key inside the mapping interval of its bit (otherwise
+  /// counting walks would never find it). Always available; returns OK
+  /// or Internal naming the first violation.
+  Status AuditFull() const;
+
  private:
   DhsClient(DhtNetwork* network, const DhsConfig& config);
+
+  /// Runs the full invariant audit (network + DHS placement) when
+  /// config_.audit is set; CHECK-fatal on any violation.
+  void MaybeAudit() const;
 
   /// Stores one tuple at the node responsible for a random ID in bit r's
   /// interval, plus `replication - 1` successor copies. The target key is

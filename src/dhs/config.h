@@ -72,6 +72,13 @@ struct DhsConfig {
   /// kNoExpiry disables aging.
   uint64_t ttl_ticks = kNoExpiry;
 
+  /// Debug-audit mode: when set, the client runs the full invariant
+  /// audit (DhtNetwork::CheckInvariants + DhsClient::AuditFull, both
+  /// CHECK-fatal on violation) after every mutating or counting
+  /// operation. Expensive — O(total records) per operation — so meant
+  /// for tests and correctness experiments, not benchmarks.
+  bool audit = false;
+
   /// Truncation parameter theta0 of super-LogLog.
   double theta0 = 0.7;
 

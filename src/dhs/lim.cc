@@ -1,13 +1,14 @@
 #include "dhs/lim.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace dhs {
 
 double ProbAllProbesEmpty(uint64_t n_bins, uint64_t n_items, int t) {
-  assert(n_bins > 0);
+  CHECK_GT(n_bins, 0u);
   if (n_items == 0) return 1.0;
   if (t <= 0) return 1.0;
   if (static_cast<uint64_t>(t) >= n_bins) return 0.0;
@@ -18,8 +19,8 @@ double ProbAllProbesEmpty(uint64_t n_bins, uint64_t n_items, int t) {
 }
 
 int RequiredProbes(uint64_t n_bins, uint64_t n_items, double p_miss) {
-  assert(n_bins > 0);
-  assert(p_miss > 0.0 && p_miss < 1.0);
+  CHECK_GT(n_bins, 0u);
+  CHECK(p_miss > 0.0 && p_miss < 1.0) << "p_miss = " << p_miss;
   if (n_items == 0) return static_cast<int>(n_bins);  // can never succeed
   // t >= N' * (1 - p_miss^(1/n')): probing that many bins leaves the
   // all-empty probability below p_miss (see lim.h on the paper's
@@ -32,9 +33,9 @@ int RequiredProbes(uint64_t n_bins, uint64_t n_items, double p_miss) {
 
 int RequiredProbesReplicated(uint64_t n_bins, uint64_t n_items, int m,
                              int replication, double p_miss) {
-  assert(n_bins > 0);
-  assert(m >= 1 && replication >= 1);
-  assert(p_miss > 0.0 && p_miss < 1.0);
+  CHECK_GT(n_bins, 0u);
+  CHECK(m >= 1 && replication >= 1);
+  CHECK(p_miss > 0.0 && p_miss < 1.0) << "p_miss = " << p_miss;
   if (n_items == 0) return static_cast<int>(n_bins);
   const double alpha =
       static_cast<double>(n_items) / static_cast<double>(n_bins);

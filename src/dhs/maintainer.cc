@@ -49,4 +49,41 @@ size_t DhsMaintainer::NumRegistrations() const {
   return total;
 }
 
+Status DhsMaintainer::AuditFull() const {
+  const BitMapping& mapping = client_->mapping();
+  const DhsConfig& config = client_->config();
+  for (const auto& [node, metrics] : registry_) {
+    if (metrics.empty()) {
+      return Status::Internal("maintainer audit: node " +
+                              std::to_string(node) +
+                              " has an empty metric map (not pruned)");
+    }
+    for (const auto& [metric, items] : metrics) {
+      if (items.empty()) {
+        return Status::Internal(
+            "maintainer audit: node " + std::to_string(node) + " metric " +
+            std::to_string(metric) + " has an empty item set (not pruned)");
+      }
+      for (uint64_t item : items) {
+        const DhsPlacement placement = client_->PlaceItem(item);
+        if (placement.vector_id < 0 || placement.vector_id >= config.m) {
+          return Status::Internal(
+              "maintainer audit: item " + std::to_string(item) +
+              " places into vector " + std::to_string(placement.vector_id) +
+              ", outside [0, " + std::to_string(config.m) + ")");
+        }
+        // rho below shift_bits is legal: the bit-shift rule assumes those
+        // positions set and skips the insert entirely.
+        if (placement.rho < 0 || placement.rho > mapping.MaxBit()) {
+          return Status::Internal(
+              "maintainer audit: item " + std::to_string(item) +
+              " places onto bit " + std::to_string(placement.rho) +
+              ", outside [0, " + std::to_string(mapping.MaxBit()) + "]");
+        }
+      }
+    }
+  }
+  return client_->AuditFull();
+}
+
 }  // namespace dhs

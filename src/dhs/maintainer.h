@@ -55,6 +55,13 @@ class DhsMaintainer {
   /// Total registered (node, metric, item) entries.
   size_t NumRegistrations() const;
 
+  /// Structural audit: the registry must hold no empty metric maps or
+  /// item sets (Unregister/Drop prune them eagerly), every registered
+  /// item must place onto a mapped bit or be covered by the §3.5
+  /// bit-shift rule, and the underlying client state must pass
+  /// DhsClient::AuditFull. Returns OK or Internal naming the violation.
+  Status AuditFull() const;
+
  private:
   DhsClient* client_;
   // node -> metric -> item hashes.

@@ -1,8 +1,7 @@
 #include "dhs/mapping.h"
 
-#include <cassert>
-
 #include "common/bit_util.h"
+#include "common/check.h"
 
 namespace dhs {
 
@@ -11,8 +10,9 @@ BitMapping::BitMapping(const IdSpace& space, const DhsConfig& config)
       rho_bits_(config.RhoBits()),
       shift_(config.shift_bits),
       max_bit_(config.RhoBits()) {
-  assert(rho_bits_ >= 1);
-  assert(shift_ >= 0 && shift_ < rho_bits_);
+  CHECK_GE(rho_bits_, 1);
+  CHECK(shift_ >= 0 && shift_ < rho_bits_)
+      << "shift_bits " << shift_ << " outside [0, " << rho_bits_ << ")";
 }
 
 StatusOr<IdInterval> BitMapping::IntervalForBit(int r) const {
@@ -39,8 +39,47 @@ StatusOr<IdInterval> BitMapping::IntervalForBit(int r) const {
 }
 
 uint64_t BitMapping::RandomIdIn(const IdInterval& interval, Rng& rng) const {
-  assert(interval.size > 0);
+  DCHECK_GT(interval.size, 0u);
   return interval.lo + rng.UniformU64(interval.size);
+}
+
+Status BitMapping::AuditFull() const {
+  const auto fail = [](const std::string& what) {
+    return Status::Internal("mapping audit: " + what);
+  };
+  // Walk intervals from the highest bit (the residual block at 0) up to
+  // the lowest mapped bit: together they must tile [0, 2^L) exactly.
+  uint64_t expected_lo = 0;
+  for (int r = max_bit_; r >= shift_; --r) {
+    auto interval = IntervalForBit(r);
+    if (!interval.ok()) {
+      return fail("IntervalForBit(" + std::to_string(r) +
+                  ") failed: " + interval.status().ToString());
+    }
+    if (interval->size == 0) {
+      return fail("bit " + std::to_string(r) + " maps to an empty interval");
+    }
+    if (interval->lo != expected_lo) {
+      return fail("bit " + std::to_string(r) + " interval starts at " +
+                  std::to_string(interval->lo) + ", expected " +
+                  std::to_string(expected_lo) + " (gap or overlap)");
+    }
+    // Both endpoints must resolve back to r.
+    if (BitForId(interval->lo) != r) {
+      return fail("BitForId(lo) disagrees for bit " + std::to_string(r));
+    }
+    if (BitForId(interval->lo + (interval->size - 1)) != r) {
+      return fail("BitForId(hi) disagrees for bit " + std::to_string(r));
+    }
+    expected_lo = interval->lo + interval->size;  // wraps to 0 at the top
+  }
+  if (expected_lo != (space_.Mask() == ~uint64_t{0}
+                          ? uint64_t{0}  // 2^64 wraps
+                          : space_.Mask() + 1)) {
+    return fail("intervals do not cover the ID space: top is " +
+                std::to_string(expected_lo));
+  }
+  return Status::OK();
 }
 
 int BitMapping::BitForId(uint64_t id) const {

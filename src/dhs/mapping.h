@@ -46,6 +46,12 @@ class BitMapping {
   /// outside every mapped interval (cannot happen when shift_bits == 0).
   int BitForId(uint64_t id) const;
 
+  /// Structural self-check: the mapped intervals must tile the ID space
+  /// exactly once (consecutive, non-overlapping, sizes summing to 2^L)
+  /// and IntervalForBit must agree with BitForId at both endpoints of
+  /// every interval. Returns OK or Internal naming the violation.
+  Status AuditFull() const;
+
  private:
   IdSpace space_;
   int rho_bits_;  // config.RhoBits()

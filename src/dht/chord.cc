@@ -1,6 +1,9 @@
 #include "dht/chord.h"
 
-#include <cassert>
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
 
 namespace dhs {
 
@@ -14,7 +17,8 @@ void ChordNetwork::MigrateOnJoin(uint64_t new_node_id) {
   // successor.
   auto pred = PredecessorOfNode(new_node_id);
   auto succ = SuccessorOfNode(new_node_id);
-  assert(pred.ok() && succ.ok());
+  CHECK(pred.ok() && succ.ok())
+      << "join migration on a ring without neighbours";
   const uint64_t pred_id = pred.value();
   NodeStore* joiner_store = StoreAt(new_node_id);
   StoreAt(succ.value())
@@ -46,6 +50,39 @@ size_t ChordNetwork::FingerIndex(FingerTable& table, uint64_t node_id,
     table.known |= bit;
   }
   return static_cast<size_t>(table.fingers[static_cast<size_t>(i)]);
+}
+
+Status ChordNetwork::AuditDerivedState() const {
+  const std::vector<uint64_t>& r = ring();
+  const size_t n = r.size();
+  const size_t rows = std::min(tables_.size(), n);
+  for (size_t idx = 0; idx < rows; ++idx) {
+    const FingerTable& table = tables_[idx];
+    if (table.epoch != epoch_) continue;  // stale row: reset before reuse
+    const uint64_t node_id = r[idx];
+    const uint64_t expected_pred = r[idx == 0 ? n - 1 : idx - 1];
+    if (table.predecessor != expected_pred) {
+      std::ostringstream os;
+      os << "chord audit: node " << node_id
+         << " caches predecessor " << table.predecessor
+         << " but the ring predecessor is " << expected_pred;
+      return Status::Internal(os.str());
+    }
+    for (int i = 0; i < 64; ++i) {
+      if ((table.known & (uint64_t{1} << i)) == 0) continue;
+      const size_t expected =
+          RingSuccessorIndex(space_.Add(node_id, uint64_t{1} << i));
+      if (table.fingers[static_cast<size_t>(i)] != expected) {
+        std::ostringstream os;
+        os << "chord audit: node " << node_id << " finger " << i
+           << " caches ring index "
+           << table.fingers[static_cast<size_t>(i)]
+           << " but successor(n + 2^" << i << ") is at index " << expected;
+        return Status::Internal(os.str());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<uint64_t> ChordNetwork::ProbeCandidates(

@@ -49,6 +49,12 @@ class ChordNetwork : public DhtNetwork {
   /// table stale without touching it.
   void OnMembershipChange() override { ++epoch_; }
 
+  /// Recomputes every epoch-fresh finger table entry brute-force against
+  /// the ring index: predecessor pointer and each resolved finger level
+  /// must match successor(n + 2^i). Stale-epoch rows are ignored (they
+  /// are reset before next use).
+  Status AuditDerivedState() const override;
+
  private:
   /// A node's materialized routing state against the converged ring,
   /// stored at the node's ring index and tagged with the membership

@@ -1,9 +1,10 @@
 #include "dht/kademlia.h"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
 
 #include "common/bit_util.h"
+#include "common/check.h"
 
 namespace dhs {
 
@@ -15,8 +16,8 @@ bool KademliaNetwork::BlockNonEmpty(uint64_t lo, uint64_t size) const {
 
 uint64_t KademliaNetwork::ClosestWithin(uint64_t lo, uint64_t size,
                                         uint64_t key) const {
-  assert(size > 0 && IsPowerOfTwo(size));
-  assert(BlockNonEmpty(lo, size));
+  DCHECK(size > 0 && IsPowerOfTwo(size)) << "misaligned block size " << size;
+  DCHECK(BlockNonEmpty(lo, size)) << "descent into an empty block";
   int level = Log2Floor(size);
   while (level > 0) {
     const uint64_t child_size = uint64_t{1} << (level - 1);
@@ -94,8 +95,58 @@ size_t KademliaNetwork::NextHopIndex(size_t current_idx,
     return static_cast<size_t>(table.contact[static_cast<size_t>(b)]);
   }
   auto closest = ResponsibleNode(key);
-  assert(closest.ok());
+  CHECK_OK(closest) << "routing on an empty network";
   return RingIndexOf(closest.value());
+}
+
+Status KademliaNetwork::AuditDerivedState() const {
+  for (const auto& [node_id, table] : bucket_cache_) {
+    if (!Contains(node_id)) {
+      std::ostringstream os;
+      os << "kademlia audit: bucket cache holds dead node " << node_id
+         << " (cache not dropped on membership change)";
+      return Status::Internal(os.str());
+    }
+    const size_t levels = static_cast<size_t>(space_.bits());
+    if (table.state.size() != levels || table.contact.size() != levels) {
+      std::ostringstream os;
+      os << "kademlia audit: node " << node_id << " bucket table has "
+         << table.state.size() << " levels, expected " << levels;
+      return Status::Internal(os.str());
+    }
+    for (size_t b = 0; b < levels; ++b) {
+      if (table.state[b] == kUnknown) continue;
+      const uint64_t block_size = uint64_t{1} << b;
+      const uint64_t block_lo = (node_id ^ block_size) & ~(block_size - 1);
+      const bool non_empty = BlockNonEmpty(block_lo, block_size);
+      if (table.state[b] == kEmptyBlock) {
+        if (non_empty) {
+          std::ostringstream os;
+          os << "kademlia audit: node " << node_id << " level " << b
+             << " cached as empty but block [" << block_lo << ", +"
+             << block_size << ") holds a live node";
+          return Status::Internal(os.str());
+        }
+        continue;
+      }
+      if (!non_empty) {
+        std::ostringstream os;
+        os << "kademlia audit: node " << node_id << " level " << b
+           << " caches a contact into an empty block";
+        return Status::Internal(os.str());
+      }
+      const uint64_t expected =
+          RingIndexOf(ClosestWithin(block_lo, block_size, node_id));
+      if (table.contact[b] != expected) {
+        std::ostringstream os;
+        os << "kademlia audit: node " << node_id << " level " << b
+           << " caches contact ring index " << table.contact[b]
+           << " but the XOR-closest block member is at " << expected;
+        return Status::Internal(os.str());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<uint64_t> KademliaNetwork::ProbeCandidates(

@@ -49,6 +49,13 @@ class KademliaNetwork : public DhtNetwork {
 
   void OnMembershipChange() override { bucket_cache_.clear(); }
 
+  /// Recomputes every cached bucket contact brute-force: a kContact slot
+  /// must hold the ring index of the XOR-closest block member, a
+  /// kEmptyBlock slot must correspond to a block with no live node, and
+  /// every cached node must still be live (the cache is dropped wholesale
+  /// on membership change, so no entry can outlive its epoch).
+  Status AuditDerivedState() const override;
+
  private:
   /// Per-node contact cache, one slot per differing-bit level: the ring
   /// index of the block member a query at this node jumps to, or "block

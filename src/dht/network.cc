@@ -1,7 +1,9 @@
 #include "dht/network.h"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
+
+#include "common/check.h"
 
 namespace dhs {
 
@@ -22,7 +24,8 @@ void DhtNetwork::RingInsert(uint64_t node_id) {
 
 void DhtNetwork::RingErase(uint64_t node_id) {
   auto it = std::lower_bound(ring_.begin(), ring_.end(), node_id);
-  assert(it != ring_.end() && *it == node_id);
+  DCHECK(it != ring_.end() && *it == node_id)
+      << "erasing node " << node_id << " absent from the ring index";
   loads_.erase(loads_.begin() + (it - ring_.begin()));
   ring_.erase(it);
 }
@@ -95,12 +98,12 @@ Status DhtNetwork::FailNode(uint64_t node_id) {
 }
 
 uint64_t DhtNetwork::RandomNode(Rng& rng) const {
-  assert(!ring_.empty());
+  CHECK(!ring_.empty()) << "RandomNode on an empty network";
   return ring_[rng.UniformU64(ring_.size())];
 }
 
 size_t DhtNetwork::RingSuccessorIndex(uint64_t key) const {
-  assert(!ring_.empty());
+  DCHECK(!ring_.empty()) << "ring successor on an empty network";
   const size_t idx = static_cast<size_t>(
       std::lower_bound(ring_.begin(), ring_.end(), space_.Clamp(key)) -
       ring_.begin());
@@ -113,7 +116,8 @@ uint64_t DhtNetwork::RingSuccessorId(uint64_t key) const {
 
 size_t DhtNetwork::RingIndexOf(uint64_t node_id) const {
   auto it = std::lower_bound(ring_.begin(), ring_.end(), node_id);
-  assert(it != ring_.end() && *it == node_id);
+  DCHECK(it != ring_.end() && *it == node_id)
+      << "node " << node_id << " absent from the ring index";
   return static_cast<size_t>(it - ring_.begin());
 }
 
@@ -263,5 +267,79 @@ size_t DhtNetwork::TotalStorageBytes() const {
   for (const auto& [id, store] : nodes_) total += store.SizeBytes();
   return total;
 }
+
+Status DhtNetwork::AuditFull() const {
+  const auto fail = [](const std::string& what) {
+    return Status::Internal("network audit: " + what);
+  };
+
+  // Ring index <-> membership map mirror.
+  if (ring_.size() != nodes_.size()) {
+    std::ostringstream os;
+    os << "ring index holds " << ring_.size() << " ids but the membership "
+       << "map holds " << nodes_.size();
+    return fail(os.str());
+  }
+  if (loads_.size() != ring_.size()) {
+    std::ostringstream os;
+    os << "load vector (" << loads_.size() << ") not parallel to the ring "
+       << "index (" << ring_.size() << ")";
+    return fail(os.str());
+  }
+  // nodes_ is an ordered map over the same key type, so walking both in
+  // lockstep verifies sortedness, uniqueness and equality at once.
+  size_t idx = 0;
+  for (const auto& [id, store] : nodes_) {
+    if (ring_[idx] != id) {
+      std::ostringstream os;
+      os << "ring index [" << idx << "] = " << ring_[idx]
+         << " but membership map has " << id;
+      return fail(os.str());
+    }
+    if (space_.Clamp(id) != id) {
+      std::ostringstream os;
+      os << "node id " << id << " escapes the " << space_.bits()
+         << "-bit ID space";
+      return fail(os.str());
+    }
+    ++idx;
+  }
+
+  // Per-store state, watermark binding, and the true earliest expiry.
+  uint64_t true_earliest = kNoExpiry;
+  for (const auto& [id, store] : nodes_) {
+    Status s = store.AuditFull(now_);
+    if (!s.ok()) {
+      std::ostringstream os;
+      os << "store at node " << id << ": " << s.message();
+      return fail(os.str());
+    }
+    if (store.bound_watermark() != &earliest_expiry_) {
+      std::ostringstream os;
+      os << "store at node " << id
+         << " is not bound to the network expiry watermark";
+      return fail(os.str());
+    }
+    store.ForEach(now_, [&true_earliest](const StoreKey&,
+                                         const StoreRecord& rec) {
+      if (rec.expires_at != kNoExpiry) {
+        true_earliest = std::min(true_earliest, rec.expires_at);
+      }
+    });
+  }
+  // The watermark is a lower bound: AdvanceClock may only skip a tick
+  // when nothing can be due, so overshooting the true earliest expiry
+  // would silently leave dead records alive.
+  if (earliest_expiry_ > true_earliest) {
+    std::ostringstream os;
+    os << "expiry watermark " << earliest_expiry_
+       << " overshoots the true earliest live expiry " << true_earliest;
+    return fail(os.str());
+  }
+
+  return AuditDerivedState();
+}
+
+void DhtNetwork::CheckInvariants() const { DCHECK_OK(AuditFull()); }
 
 }  // namespace dhs

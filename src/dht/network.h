@@ -184,6 +184,31 @@ class DhtNetwork {
   /// Total storage bytes over all nodes.
   size_t TotalStorageBytes() const;
 
+  // ---- Invariant auditing -------------------------------------------------
+
+  /// Exhaustively cross-checks every piece of redundant simulator state
+  /// against a from-scratch re-derivation:
+  ///
+  ///   * the ring index mirrors the membership map exactly (same IDs,
+  ///     strictly sorted, clamped to the ID space);
+  ///   * the per-node load vector stays parallel to the ring index;
+  ///   * every store passes NodeStore::AuditFull (byte accounting,
+  ///     expiry-heap coverage) and is bound to the network watermark;
+  ///   * the network-wide earliest-expiry watermark is at or below the
+  ///     true earliest finite expiry over all live records;
+  ///   * geometry-derived routing state (Chord finger tables, Kademlia
+  ///     bucket caches) that claims to be epoch-fresh matches a
+  ///     brute-force recomputation (AuditDerivedState).
+  ///
+  /// Always available in every build type; O(total records + N log N +
+  /// cached routing entries). Returns OK or Internal naming the first
+  /// violated invariant.
+  Status AuditFull() const;
+
+  /// Debug-only wrapper: CHECKs AuditFull() (via DCHECK_OK, compiled out
+  /// under NDEBUG). Call from tests and audit-enabled experiment loops.
+  void CheckInvariants() const;
+
  protected:
   using NodeMap = std::map<uint64_t, NodeStore>;
 
@@ -206,6 +231,11 @@ class DhtNetwork {
   /// migration. Geometries drop derived routing state (finger tables,
   /// bucket caches) here.
   virtual void OnMembershipChange() {}
+
+  /// Geometry hook of AuditFull(): re-derives any cached routing state
+  /// (finger tables, bucket caches) brute-force and compares it against
+  /// the cache. The default has no derived state and returns OK.
+  virtual Status AuditDerivedState() const { return Status::OK(); }
 
   /// Sorted vector of all live node IDs (the ring index).
   const std::vector<uint64_t>& ring() const { return ring_; }

@@ -1,12 +1,13 @@
 #include "dht/node_id.h"
 
-#include <cassert>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace dhs {
 
 IdSpace::IdSpace(int bits) : bits_(bits) {
-  assert(bits >= 8 && bits <= 64);
+  CHECK(bits >= 8 && bits <= 64) << "unsupported ID width " << bits;
   mask_ = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
 }
 

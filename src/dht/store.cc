@@ -1,5 +1,7 @@
 #include "dht/store.h"
 
+#include <map>
+#include <sstream>
 #include <utility>
 
 namespace dhs {
@@ -16,6 +18,20 @@ std::string StoreKey::ToBytes() const {
   bytes.push_back(static_cast<char>((vector_ >> 8) & 0xff));
   bytes.push_back(static_cast<char>(vector_ & 0xff));
   return bytes;
+}
+
+StoreKey StoreKey::FromBytes(const std::string& bytes) {
+  if (bytes.size() == kDhsEncodedBytes && bytes[0] == 'D') {
+    uint64_t metric = 0;
+    for (size_t i = 1; i <= 8; ++i) {
+      metric = (metric << 8) | static_cast<uint8_t>(bytes[i]);
+    }
+    const int bit = static_cast<uint8_t>(bytes[9]);
+    const int vector = (static_cast<uint8_t>(bytes[10]) << 8) |
+                       static_cast<uint8_t>(bytes[11]);
+    return Dhs(metric, bit, vector);
+  }
+  return StoreKey(bytes);
 }
 
 void NodeStore::NoteExpiry(const StoreKey& key, uint64_t expires_at) {
@@ -76,9 +92,15 @@ size_t NodeStore::ExpireUntil(uint64_t now) {
     expiry_heap_.pop();
     // A heap entry is stale when its record was refreshed to a later
     // deadline, erased, or already reaped via a duplicate entry.
-    if (it != records_.end() && it->second.expires_at <= now) {
+    if (it == records_.end()) continue;
+    if (it->second.expires_at <= now) {
       EraseIt(it);
       ++dropped;
+    } else if (it->second.expires_at != kNoExpiry) {
+      // Refreshed to a later finite deadline: the popped entry was the
+      // record's only guaranteed heap registration, so re-register at
+      // the new deadline or the record would never be reaped.
+      NoteExpiry(it->first, it->second.expires_at);
     }
   }
   return dropped;
@@ -122,6 +144,63 @@ void NodeStore::Clear() {
   records_.clear();
   expiry_heap_ = {};
   size_bytes_ = 0;
+}
+
+Status NodeStore::AuditFull(uint64_t now) const {
+  // Byte accounting: size_bytes_ is maintained incrementally on every
+  // put/erase/migrate; re-derive it from scratch.
+  size_t recomputed_bytes = 0;
+  for (const auto& [key, rec] : records_) {
+    recomputed_bytes += key.SizeBytes() + rec.value.size();
+  }
+  if (recomputed_bytes != size_bytes_) {
+    std::ostringstream os;
+    os << "store byte accounting drifted: maintained " << size_bytes_
+       << " vs recomputed " << recomputed_bytes << " over "
+       << records_.size() << " records";
+    return Status::Internal(os.str());
+  }
+
+  // Expiry tracking. Drain a copy of the heap into the per-key minimum
+  // deadline it knows about. Stale entries (lower than the record's
+  // current deadline, or for erased keys) are legal — the heap is a
+  // lazy lower bound — but every finite-TTL record MUST be covered by
+  // an entry at or below its deadline, or ExpireUntil would never reap
+  // it and MinExpiry() could overshoot the true earliest expiry.
+  std::map<StoreKey, uint64_t> heap_min;
+  for (auto heap = expiry_heap_; !heap.empty(); heap.pop()) {
+    const ExpiryEntry& entry = heap.top();
+    auto [it, inserted] = heap_min.try_emplace(entry.key, entry.expires_at);
+    if (!inserted && entry.expires_at < it->second) {
+      it->second = entry.expires_at;
+    }
+  }
+  uint64_t true_min = kNoExpiry;
+  for (const auto& [key, rec] : records_) {
+    if (rec.expires_at == kNoExpiry) continue;
+    if (rec.expires_at <= now) continue;  // due; lazily reaped on access
+    true_min = std::min(true_min, rec.expires_at);
+    auto it = heap_min.find(key);
+    if (it == heap_min.end()) {
+      return Status::Internal(
+          "finite-TTL record has no expiry-heap entry (would never be "
+          "reaped): expires_at=" +
+          std::to_string(rec.expires_at));
+    }
+    if (it->second > rec.expires_at) {
+      std::ostringstream os;
+      os << "expiry-heap entry overshoots its record: heap min "
+         << it->second << " > record deadline " << rec.expires_at;
+      return Status::Internal(os.str());
+    }
+  }
+  if (MinExpiry() > true_min) {
+    std::ostringstream os;
+    os << "MinExpiry() " << MinExpiry()
+       << " overshoots true earliest live expiry " << true_min;
+    return Status::Internal(os.str());
+  }
+  return Status::OK();
 }
 
 }  // namespace dhs

@@ -74,6 +74,15 @@ class StoreKey {
   /// The historical byte encoding (diagnostics / cross-impl dumps).
   std::string ToBytes() const;
 
+  /// Inverse of ToBytes(): a buffer of exactly kDhsEncodedBytes starting
+  /// with 'D' decodes to the packed DHS key it encodes; any other byte
+  /// string becomes a raw key holding the bytes verbatim. Total on the
+  /// wire-format side: ToBytes(FromBytes(b)) == b for every b. (A raw
+  /// key whose bytes happen to spell a canonical DHS encoding decodes to
+  /// the packed key — the two were indistinguishable on the wire by
+  /// design.)
+  static StoreKey FromBytes(const std::string& bytes);
+
   friend bool operator==(const StoreKey& a, const StoreKey& b) {
     if (a.kind_ != b.kind_) return false;
     if (a.kind_ == kDhs) {
@@ -230,6 +239,19 @@ class NodeStore {
 
   void Clear();
   size_t NumRecords() const { return records_.size(); }
+
+  /// Exhaustively re-derives this store's redundant state and compares it
+  /// against the maintained copies: byte accounting (SizeBytes() equals
+  /// the recomputed key+value total) and expiry tracking (every record
+  /// with a finite deadline has a heap entry at or below that deadline,
+  /// so MinExpiry() is a sound lower bound). O(records + heap); intended
+  /// for audits and tests, not the hot path. Returns OK or Internal with
+  /// a description of the first violation.
+  Status AuditFull(uint64_t now) const;
+
+  /// The network watermark this store pushes expiries into (nullptr when
+  /// unbound). Exposed for the network-level audit.
+  const uint64_t* bound_watermark() const { return watermark_; }
 
   /// Total payload bytes held (keys + values), the paper's storage-load
   /// metric. O(1): maintained incrementally.

@@ -1,7 +1,8 @@
 #include "histogram/equi_width.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace dhs {
 
@@ -10,8 +11,8 @@ HistogramSpec::HistogramSpec(int64_t min_value, int64_t max_value,
     : min_value_(min_value),
       max_value_(max_value),
       num_buckets_(num_buckets) {
-  assert(max_value >= min_value);
-  assert(num_buckets >= 1);
+  CHECK_GE(max_value, min_value);
+  CHECK_GE(num_buckets, 1);
   const int64_t span = max_value - min_value + 1;
   width_ = std::max<int64_t>(1, span / num_buckets);
 }
@@ -25,7 +26,7 @@ int HistogramSpec::BucketOf(int64_t value) const {
 }
 
 std::pair<int64_t, int64_t> HistogramSpec::BucketBounds(int i) const {
-  assert(i >= 0 && i < num_buckets_);
+  DCHECK(i >= 0 && i < num_buckets_) << "bucket " << i;
   const int64_t lo = min_value_ + static_cast<int64_t>(i) * width_;
   const int64_t hi =
       i == num_buckets_ - 1 ? max_value_ : lo + width_ - 1;

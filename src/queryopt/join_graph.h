@@ -20,7 +20,9 @@ struct JoinInput {
   size_t tuple_bytes = 1024;
 
   double Cardinality() const { return stats.TotalCardinality(); }
-  double TotalBytes() const { return Cardinality() * tuple_bytes; }
+  double TotalBytes() const {
+    return Cardinality() * static_cast<double>(tuple_bytes);
+  }
 };
 
 /// A natural multi-way equi-join of `inputs` on the histogram attribute.

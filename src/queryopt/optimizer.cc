@@ -1,8 +1,8 @@
 #include "queryopt/optimizer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+#include "common/check.h"
 
 namespace dhs {
 
@@ -16,8 +16,8 @@ std::string JoinPlan::OrderString(const JoinQuery& query) const {
 }
 
 JoinOptimizer::JoinOptimizer(const JoinQuery* query) : query_(query) {
-  assert(query != nullptr);
-  assert(query->SpecsAligned());
+  CHECK(query != nullptr);
+  CHECK(query->SpecsAligned()) << "query relations have misaligned specs";
 }
 
 StatusOr<JoinPlan> JoinOptimizer::Evaluate(

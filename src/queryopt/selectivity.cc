@@ -1,7 +1,7 @@
 #include "queryopt/selectivity.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace dhs {
 
@@ -36,7 +36,7 @@ double BucketDistinctValues(const HistogramSpec& spec, int i) {
 
 double EstimateEquiJoinSize(const AttributeStats& a,
                             const AttributeStats& b) {
-  assert(SpecsMatch(a.spec, b.spec));
+  CHECK(SpecsMatch(a.spec, b.spec)) << "joining misaligned histograms";
   double total = 0.0;
   for (int i = 0; i < a.spec.num_buckets(); ++i) {
     total += a.buckets[static_cast<size_t>(i)] *
@@ -48,7 +48,7 @@ double EstimateEquiJoinSize(const AttributeStats& a,
 
 AttributeStats ComposeJoin(const AttributeStats& a,
                            const AttributeStats& b) {
-  assert(SpecsMatch(a.spec, b.spec));
+  CHECK(SpecsMatch(a.spec, b.spec)) << "joining misaligned histograms";
   AttributeStats out{a.spec, std::vector<double>(a.buckets.size(), 0.0)};
   for (int i = 0; i < a.spec.num_buckets(); ++i) {
     out.buckets[static_cast<size_t>(i)] =

@@ -1,7 +1,8 @@
 #include "relation/relation.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace dhs {
 
@@ -12,7 +13,8 @@ Relation::Relation(RelationSpec spec, std::vector<uint32_t> value_offsets,
       value_counts_(spec_.domain_size, 0),
       id_salt_(id_salt) {
   for (uint32_t offset : value_offsets_) {
-    assert(offset < spec_.domain_size);
+    CHECK_LT(offset, spec_.domain_size)
+        << "tuple value offset outside the attribute domain";
     value_counts_[offset] += 1;
   }
   cumulative_counts_.resize(value_counts_.size() + 1, 0);

@@ -1,8 +1,9 @@
 #include "sketch/estimator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 #include "common/bit_util.h"
 
@@ -10,7 +11,7 @@ namespace dhs {
 
 double PcsaEstimateFromM(const std::vector<int>& leftmost_zero,
                          bool bias_correction) {
-  assert(!leftmost_zero.empty());
+  CHECK(!leftmost_zero.empty());
   // Every bitmap has its lowest bit clear: the set is (almost surely)
   // empty. The asymptotic formula would report ~1.3m here.
   if (std::all_of(leftmost_zero.begin(), leftmost_zero.end(),
@@ -30,7 +31,7 @@ double PcsaEstimateFromM(const std::vector<int>& leftmost_zero,
 }
 
 double LogLogEstimateFromM(const std::vector<int>& max_rho) {
-  assert(!max_rho.empty());
+  CHECK(!max_rho.empty());
   const double m = static_cast<double>(max_rho.size());
   double sum = 0.0;
   for (int v : max_rho) sum += static_cast<double>(std::max(v, 0));
@@ -43,7 +44,7 @@ double LogLogEstimateFromM(const std::vector<int>& max_rho) {
 
 double SuperLogLogEstimateFromM(const std::vector<int>& max_rho,
                                 double theta0) {
-  assert(!max_rho.empty());
+  CHECK(!max_rho.empty());
   // No bitmap observed any item: the set is empty.
   if (std::all_of(max_rho.begin(), max_rho.end(),
                   [](int v) { return v < 0; })) {
@@ -63,7 +64,7 @@ double SuperLogLogEstimateFromM(const std::vector<int>& max_rho,
 }
 
 double LogLogAlpha(int m) {
-  assert(m >= 2);
+  CHECK_GE(m, 2);
   // alpha_m = (Gamma(-1/m) * (1 - 2^(1/m)) / ln 2)^-m
   //         = (m * Gamma(1 - 1/m) * (2^(1/m) - 1) / ln 2)^-m,
   // using Gamma(-x) = -Gamma(1 - x)/x; all factors positive, so evaluate in
@@ -93,7 +94,7 @@ struct SllAlphaTable {
 }  // namespace
 
 double SuperLogLogAlpha(int m) {
-  assert(m >= 2);
+  CHECK_GE(m, 2);
   const double log_m = std::log2(static_cast<double>(m));
   const double lo = SllAlphaTable::kMinLogM;
   const double hi = SllAlphaTable::kMaxLogM;
@@ -110,8 +111,8 @@ double SuperLogLogAlpha(int m) {
 }
 
 int SuperLogLogHashBits(int m, uint64_t n_max) {
-  assert(m >= 1 && IsPowerOfTwo(static_cast<uint64_t>(m)));
-  assert(n_max >= static_cast<uint64_t>(m));
+  CHECK(m >= 1 && IsPowerOfTwo(static_cast<uint64_t>(m))) << "m = " << m;
+  CHECK_GE(n_max, static_cast<uint64_t>(m));
   const int log_m = Log2Floor(static_cast<uint64_t>(m));
   const double per_bucket =
       static_cast<double>(n_max) / static_cast<double>(m);

@@ -1,7 +1,8 @@
 #include "sketch/hyperloglog.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 #include "common/bit_util.h"
 #include "sketch/rho.h"
@@ -9,7 +10,7 @@
 namespace dhs {
 
 double HyperLogLogAlpha(int m) {
-  assert(m >= 16);
+  CHECK_GE(m, 16);
   switch (m) {
     case 16:
       return 0.673;
@@ -23,7 +24,7 @@ double HyperLogLogAlpha(int m) {
 }
 
 double HyperLogLogEstimateFromM(const std::vector<int>& max_rho) {
-  assert(!max_rho.empty());
+  CHECK(!max_rho.empty());
   const int m = static_cast<int>(max_rho.size());
   // Registers are 0-indexed max-rho values; the HLL formulation uses
   // 1-indexed ranks with 0 = empty, i.e. rank = v + 1.
@@ -53,9 +54,10 @@ HllSketch::HllSketch(int num_bitmaps, int bits)
       bits_(bits),
       index_bits_(Log2Floor(static_cast<uint64_t>(num_bitmaps))),
       registers_(static_cast<size_t>(num_bitmaps), -1) {
-  assert(num_bitmaps >= 16 && num_bitmaps <= (1 << 16));
-  assert(IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)));
-  assert(bits >= 4 && bits <= 64);
+  CHECK(num_bitmaps >= 16 && num_bitmaps <= (1 << 16) &&
+        IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)))
+      << "num_bitmaps = " << num_bitmaps;
+  CHECK(bits >= 4 && bits <= 64) << "bits = " << bits;
 }
 
 void HllSketch::AddHash(uint64_t hash) {
@@ -67,8 +69,8 @@ void HllSketch::AddHash(uint64_t hash) {
 }
 
 void HllSketch::OfferM(int bitmap, int value) {
-  assert(bitmap >= 0 && bitmap < num_bitmaps_);
-  assert(value >= 0 && value < bits_);
+  DCHECK(bitmap >= 0 && bitmap < num_bitmaps_) << "bitmap = " << bitmap;
+  DCHECK(value >= 0 && value < bits_) << "value = " << value;
   if (value > registers_[bitmap]) {
     registers_[bitmap] = static_cast<int8_t>(value);
   }

@@ -1,9 +1,9 @@
 #include "sketch/loglog.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/bit_util.h"
+#include "common/check.h"
 #include "sketch/rho.h"
 
 namespace dhs {
@@ -14,9 +14,10 @@ LogLogSketch::LogLogSketch(int num_bitmaps, int bits, Mode mode)
       mode_(mode),
       index_bits_(Log2Floor(static_cast<uint64_t>(num_bitmaps))),
       registers_(static_cast<size_t>(num_bitmaps), -1) {
-  assert(num_bitmaps >= 2 && num_bitmaps <= (1 << 16));
-  assert(IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)));
-  assert(bits >= 4 && bits <= 64);
+  CHECK(num_bitmaps >= 2 && num_bitmaps <= (1 << 16) &&
+        IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)))
+      << "num_bitmaps = " << num_bitmaps;
+  CHECK(bits >= 4 && bits <= 64) << "bits = " << bits;
 }
 
 void LogLogSketch::AddHash(uint64_t hash) {
@@ -28,8 +29,8 @@ void LogLogSketch::AddHash(uint64_t hash) {
 }
 
 void LogLogSketch::OfferM(int bitmap, int value) {
-  assert(bitmap >= 0 && bitmap < num_bitmaps_);
-  assert(value >= 0 && value < bits_);
+  DCHECK(bitmap >= 0 && bitmap < num_bitmaps_) << "bitmap = " << bitmap;
+  DCHECK(value >= 0 && value < bits_) << "value = " << value;
   if (value > registers_[bitmap]) {
     registers_[bitmap] = static_cast<int8_t>(value);
   }

@@ -1,8 +1,7 @@
 #include "sketch/pcsa.h"
 
-#include <cassert>
-
 #include "common/bit_util.h"
+#include "common/check.h"
 #include "sketch/rho.h"
 
 namespace dhs {
@@ -14,9 +13,10 @@ PcsaSketch::PcsaSketch(int num_bitmaps, int bits)
                       ? Log2Floor(static_cast<uint64_t>(num_bitmaps))
                       : 0),
       bitmaps_(static_cast<size_t>(num_bitmaps), 0) {
-  assert(num_bitmaps >= 1 && num_bitmaps <= (1 << 16));
-  assert(IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)));
-  assert(bits >= 4 && bits <= 64);
+  CHECK(num_bitmaps >= 1 && num_bitmaps <= (1 << 16) &&
+        IsPowerOfTwo(static_cast<uint64_t>(num_bitmaps)))
+      << "num_bitmaps = " << num_bitmaps;
+  CHECK(bits >= 4 && bits <= 64) << "bits = " << bits;
 }
 
 void PcsaSketch::AddHash(uint64_t hash) {
@@ -58,14 +58,14 @@ void PcsaSketch::Clear() {
 }
 
 bool PcsaSketch::TestBit(int bitmap, int position) const {
-  assert(bitmap >= 0 && bitmap < num_bitmaps_);
-  assert(position >= 0 && position < bits_);
+  DCHECK(bitmap >= 0 && bitmap < num_bitmaps_) << "bitmap = " << bitmap;
+  DCHECK(position >= 0 && position < bits_) << "position = " << position;
   return (bitmaps_[bitmap] >> position) & 1u;
 }
 
 void PcsaSketch::SetBit(int bitmap, int position) {
-  assert(bitmap >= 0 && bitmap < num_bitmaps_);
-  assert(position >= 0 && position < bits_);
+  DCHECK(bitmap >= 0 && bitmap < num_bitmaps_) << "bitmap = " << bitmap;
+  DCHECK(position >= 0 && position < bits_) << "position = " << position;
   bitmaps_[bitmap] |= uint64_t{1} << position;
 }
 
@@ -118,6 +118,12 @@ StatusOr<PcsaSketch> PcsaSketch::Deserialize(const std::string& data) {
     uint64_t b = 0;
     for (size_t j = 0; j < per_bitmap; ++j) {
       b |= static_cast<uint64_t>(static_cast<uint8_t>(data[off++])) << (8 * j);
+    }
+    // Strict: padding bits beyond the bitmap width must be zero, so
+    // Deserialize(Serialize(s)) == s holds byte-for-byte both ways and
+    // TestBit's position < bits_ contract is never violated by wire data.
+    if (bits < 64 && (b >> bits) != 0) {
+      return Status::InvalidArgument("pcsa: stray bits beyond bitmap width");
     }
     sketch.bitmaps_[i] = b;
   }

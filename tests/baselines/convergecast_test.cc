@@ -71,7 +71,7 @@ TEST_F(ConvergecastTest, SketchModesAreDuplicateInsensitive) {
     auto result = agg.Count(net_->NodeIds()[0], mode, 64, 24);
     ASSERT_TRUE(result.ok());
     EXPECT_NEAR(result->estimate, static_cast<double>(distinct_.size()),
-                0.45 * distinct_.size());
+                0.45 * static_cast<double>(distinct_.size()));
   }
 }
 

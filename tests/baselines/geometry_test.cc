@@ -75,7 +75,7 @@ TEST_P(BaselineGeometryTest, ConvergecastSketchCountsDistinct) {
                           ConvergecastAggregator::Mode::kSketchPcsa, 64, 24);
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, static_cast<double>(distinct_.size()),
-              0.5 * distinct_.size());
+              0.5 * static_cast<double>(distinct_.size()));
 }
 
 TEST_P(BaselineGeometryTest, PushSumConverges) {
@@ -84,7 +84,7 @@ TEST_P(BaselineGeometryTest, PushSumConverges) {
   auto result = gossip.Run(net_->NodeIds()[0], 150, 1e-4, rng);
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, static_cast<double>(total_),
-              0.05 * total_);
+              0.05 * static_cast<double>(total_));
 }
 
 TEST_P(BaselineGeometryTest, SamplingExtrapolates) {
@@ -103,7 +103,7 @@ TEST_P(BaselineGeometryTest, SamplingExtrapolates) {
     estimates.Add(result->estimate);
   }
   EXPECT_NEAR(estimates.mean(), static_cast<double>(total_),
-              0.25 * total_);
+              0.25 * static_cast<double>(total_));
 }
 
 INSTANTIATE_TEST_SUITE_P(BothGeometries, BaselineGeometryTest,

@@ -47,7 +47,7 @@ TEST_F(GossipTest, PushSumConvergesToTotal) {
   auto result = gossip.Run(net_->NodeIds()[0], 200, 1e-4, rng);
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, static_cast<double>(total_items_),
-              0.02 * total_items_);
+              0.02 * static_cast<double>(total_items_));
 }
 
 TEST_F(GossipTest, PushSumIsDuplicateSensitive) {
@@ -97,7 +97,7 @@ TEST_F(GossipTest, SketchGossipConvergesToDistinctCount) {
   auto result = gossip.Run(net_->NodeIds()[0], 12, rng);
   ASSERT_TRUE(result.ok());
   EXPECT_NEAR(result->estimate, static_cast<double>(distinct.size()),
-              0.5 * distinct.size());
+              0.5 * static_cast<double>(distinct.size()));
   EXPECT_GT(result->converged_fraction, 0.9);
 }
 

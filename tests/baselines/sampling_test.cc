@@ -40,7 +40,7 @@ TEST_F(SamplingTest, EstimateIsUnbiasedOverManyRuns) {
     estimates.Add(result->estimate);
   }
   EXPECT_NEAR(estimates.mean(), static_cast<double>(total_),
-              0.15 * total_);
+              0.15 * static_cast<double>(total_));
 }
 
 TEST_F(SamplingTest, SingleRunHasHighVariance) {

@@ -30,6 +30,14 @@ class DhsClientTest : public ::testing::Test {
     }
   }
 
+  // Every test ends with a full cross-check of the simulator's redundant
+  // state; a bug in any DHS code path that corrupts the network shows up
+  // here even if the test's own assertions pass.
+  void TearDown() override {
+    const Status audit = net_.AuditFull();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+  }
+
   DhsConfig Config(DhsEstimator estimator) {
     DhsConfig config;
     config.k = 24;
@@ -150,6 +158,37 @@ TEST_F(DhsClientTest, InsertBatchDeduplicatesTuples) {
   net_.ResetStats();
   ASSERT_TRUE(client->InsertBatch(net_.RandomNode(rng), 9, batch, rng).ok());
   EXPECT_EQ(net_.stats().messages, 1u);
+}
+
+TEST_F(DhsClientTest, AuditModeExercisesFullPipeline) {
+  // config.audit = true runs the network + DHS audit after every insert,
+  // batch and count; any stale cache, broken byte accounting or
+  // misplaced tuple aborts via CHECK_OK inside the client.
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.audit = true;
+  config.ttl_ticks = 50;
+  config.replication = 2;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Rng rng(41);
+  MixHasher hasher(41);
+  std::vector<uint64_t> batch;
+  for (uint64_t i = 0; i < 2000; ++i) batch.push_back(hasher.HashU64(i));
+  ASSERT_TRUE(client->InsertBatch(net_.RandomNode(rng), 3, batch, rng).ok());
+  for (uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        client->Insert(net_.RandomNode(rng), 3, hasher.HashU64(5000 + i), rng)
+            .ok());
+  }
+  net_.AdvanceClock(10);
+  auto result = client->Count(net_.RandomNode(rng), 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->estimate, 0.0);
+  // Age everything out and audit again: the expiry path must leave the
+  // heap/watermark bookkeeping consistent too.
+  net_.AdvanceClock(100);
+  const Status audit = client->AuditFull();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
 }
 
 TEST_F(DhsClientTest, BatchCostIsBoundedByKLookups) {

@@ -41,6 +41,15 @@ class MaintainerTest : public ::testing::Test {
     }
   }
 
+  // Registry structure, DHS placement and network bookkeeping must all
+  // survive whatever churn/refresh sequence the test ran.
+  void TearDown() override {
+    const Status audit = maintainer_->AuditFull();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+    const Status net_audit = net_->AuditFull();
+    EXPECT_TRUE(net_audit.ok()) << net_audit.ToString();
+  }
+
   double CountNow(uint64_t seed) {
     Rng rng(seed);
     auto result = client_->Count(net_->RandomNode(rng), kMetric, rng);

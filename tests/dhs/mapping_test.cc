@@ -104,6 +104,26 @@ TEST(BitMappingTest, ShiftMovesBitsToLargerIntervals) {
   EXPECT_EQ(plain.IntervalForBit(4)->size, interval->size >> 4);
 }
 
+TEST(BitMappingTest, AuditFullPassesAcrossConfigurations) {
+  // The structural self-check must hold for every (L, k, shift) corner
+  // the rest of the suite exercises: full and narrow spaces, with and
+  // without the bit-shift rule.
+  for (int L : {8, 16, 24, 64}) {
+    const IdSpace space(L);
+    for (int k : {4, 8, 24}) {
+      for (int shift : {0, 1, 3}) {
+        DhsConfig config = Config(k, 16, shift);
+        if (!config.Validate(space).ok()) continue;
+        BitMapping mapping(space, config);
+        const Status audit = mapping.AuditFull();
+        EXPECT_TRUE(audit.ok())
+            << "L=" << L << " k=" << k << " shift=" << shift << ": "
+            << audit.ToString();
+      }
+    }
+  }
+}
+
 TEST(BitMappingTest, SmallIdSpace) {
   const IdSpace space(16);
   DhsConfig config = Config(8, 4);

@@ -160,6 +160,37 @@ TEST(ChordDataTest, RemoveUnknownNodeIsNotFound) {
   EXPECT_TRUE(net.FailNode(99).IsNotFound());
 }
 
+TEST(ChordAuditTest, AuditPassesUnderChurnTtlAndRouting) {
+  ChordNetwork net(FastConfig());
+  Rng rng(31);
+  std::vector<uint64_t> live;
+  for (int i = 0; i < 48; ++i) {
+    const uint64_t id = rng.Next();
+    if (net.AddNode(id).ok()) live.push_back(id);
+  }
+  for (int round = 0; round < 30; ++round) {
+    // Mixed workload: puts with finite TTLs, routed gets (fills finger
+    // tables), clock advances (drains expiry heaps), churn (invalidates
+    // cached routing state).
+    const uint64_t key = rng.Next();
+    ASSERT_TRUE(net.Put(live[rng.UniformU64(live.size())], key, "k", "v",
+                        1 + rng.UniformU64(20))
+                    .ok());
+    (void)net.GetValue(live[rng.UniformU64(live.size())], rng.Next(), "k");
+    if (round % 3 == 0) net.AdvanceClock(rng.UniformU64(8));
+    if (round % 4 == 1 && live.size() > 8) {
+      const size_t victim = rng.UniformU64(live.size());
+      ASSERT_TRUE((round % 8 == 1 ? net.FailNode(live[victim])
+                                  : net.RemoveNode(live[victim]))
+                      .ok());
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+    const Status audit = net.AuditFull();
+    ASSERT_TRUE(audit.ok()) << "round " << round << ": " << audit.ToString();
+    net.CheckInvariants();  // DCHECK wrapper: fatal in debug builds
+  }
+}
+
 TEST(ChordStatsTest, LoadAccounting) {
   ChordNetwork net(FastConfig());
   Rng rng(1);

@@ -34,6 +34,14 @@ class KademliaTest : public ::testing::Test {
       ASSERT_TRUE(net_.AddNode(rng.Next()).ok());
     }
   }
+
+  // The bucket caches filled during the test must match a brute-force
+  // recomputation, and the store/ring bookkeeping must balance.
+  void TearDown() override {
+    const Status audit = net_.AuditFull();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+  }
+
   KademliaNetwork net_{FastConfig()};
 };
 

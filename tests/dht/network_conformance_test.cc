@@ -31,6 +31,14 @@ class NetworkConformanceTest : public ::testing::TestWithParam<Geometry> {
  protected:
   void SetUp() override { net_ = MakeOverlay(GetParam()); }
 
+  // Both geometries must leave every redundant structure (ring index,
+  // routing caches, expiry heaps, byte accounting) consistent no matter
+  // which operations the test performed.
+  void TearDown() override {
+    const Status audit = net_->AuditFull();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+  }
+
   void Build(int n, uint64_t seed = 7) {
     Rng rng(seed);
     for (int i = 0; i < n; ++i) {

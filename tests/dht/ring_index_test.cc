@@ -170,6 +170,10 @@ TEST_P(RingIndexTest, RoutesMatchBruteForceUnderChurn) {
       }
     }
     check_routes(25);  // every round revalidates cached routing state
+    // The caches the routes just repopulated must match a brute-force
+    // re-derivation (epoch-freshness of fingers / bucket contacts).
+    const Status audit = net->AuditFull();
+    ASSERT_TRUE(audit.ok()) << "round " << round << ": " << audit.ToString();
   }
 }
 

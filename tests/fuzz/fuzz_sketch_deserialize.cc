@@ -1,0 +1,79 @@
+// Fuzz target: sketch wire-format parsers.
+//
+// Feeds arbitrary bytes to PcsaSketch/LogLogSketch/HllSketch
+// ::Deserialize. Contract under test:
+//
+//   * no crash / UB on any input — malformed data must come back as an
+//     error Status, never trip a CHECK or read out of bounds;
+//   * accepted inputs are canonical: Serialize(Deserialize(b)) == b
+//     byte-for-byte (strict parsing leaves no room for two encodings of
+//     the same sketch);
+//   * accepted sketches are usable: Estimate() returns a finite,
+//     non-negative value.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "hashing/hasher.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/loglog.h"
+#include "sketch/pcsa.h"
+
+namespace {
+
+template <typename Sketch>
+void CheckOne(const std::string& data) {
+  auto sketch = Sketch::Deserialize(data);
+  if (!sketch.ok()) return;  // rejected: fine, as long as it's a Status
+  const std::string round = sketch->Serialize();
+  CHECK(round == data) << "accepted input is not canonical: "
+                       << data.size() << " bytes in, " << round.size()
+                       << " bytes back";
+  const double estimate = sketch->Estimate();
+  CHECK(std::isfinite(estimate) && estimate >= 0.0)
+      << "deserialized sketch produced estimate " << estimate;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  CheckOne<dhs::PcsaSketch>(input);
+  CheckOne<dhs::LogLogSketch>(input);
+  CheckOne<dhs::HllSketch>(input);
+  return 0;
+}
+
+std::vector<std::string> FuzzSeedCorpus() {
+  std::vector<std::string> seeds;
+  dhs::MixHasher hasher(7);
+  {
+    dhs::PcsaSketch sketch(16, 24);
+    for (uint64_t i = 0; i < 500; ++i) sketch.AddHash(hasher.HashU64(i));
+    seeds.push_back(sketch.Serialize());
+    seeds.push_back(dhs::PcsaSketch(4, 7).Serialize());  // ragged width
+  }
+  {
+    dhs::LogLogSketch sketch(16, 24, dhs::LogLogSketch::Mode::kSuperTrunc);
+    for (uint64_t i = 0; i < 500; ++i) {
+      sketch.AddHash(hasher.HashU64(1000 + i));
+    }
+    seeds.push_back(sketch.Serialize());
+    seeds.push_back(
+        dhs::LogLogSketch(4, 16, dhs::LogLogSketch::Mode::kPlain)
+            .Serialize());
+  }
+  {
+    dhs::HllSketch sketch(16, 24);
+    for (uint64_t i = 0; i < 500; ++i) {
+      sketch.AddHash(hasher.HashU64(2000 + i));
+    }
+    seeds.push_back(sketch.Serialize());
+    seeds.push_back(dhs::HllSketch(16, 8).Serialize());
+  }
+  return seeds;
+}
+
+#include "fuzz_driver.h"

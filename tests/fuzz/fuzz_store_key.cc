@@ -1,0 +1,61 @@
+// Fuzz target: StoreKey wire-format parsing and ordering.
+//
+// Contract under test:
+//
+//   * ToBytes(FromBytes(b)) == b for every byte string (the parser and
+//     encoder are exact inverses on the wire side);
+//   * FromBytes classifies exactly: 12 bytes starting 'D' => packed DHS
+//     key, anything else => raw key carrying the bytes verbatim;
+//   * SizeBytes() matches the encoded length either way;
+//   * comparison operators stay a strict weak order consistent with the
+//     historical byte encoding (the property range scans depend on).
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "dht/store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  const dhs::StoreKey key = dhs::StoreKey::FromBytes(input);
+
+  const std::string round = key.ToBytes();
+  CHECK(round == input) << "ToBytes(FromBytes(b)) != b for " << input.size()
+                        << " bytes";
+  const bool dhs_shaped =
+      input.size() == dhs::StoreKey::kDhsEncodedBytes && input[0] == 'D';
+  CHECK_EQ(key.is_dhs(), dhs_shaped) << "misclassified key";
+  CHECK_EQ(key.SizeBytes(), input.size()) << "size accounting";
+  CHECK(!(key < key)) << "irreflexivity";
+  CHECK(key == dhs::StoreKey::FromBytes(round)) << "reparse equality";
+
+  // Split the buffer in half and check order consistency with the byte
+  // encoding: packed keys sort before raw keys, and within a section
+  // the order must match the historical string order.
+  const std::string left = input.substr(0, size / 2);
+  const dhs::StoreKey other = dhs::StoreKey::FromBytes(left);
+  if (key.is_dhs() == other.is_dhs()) {
+    const bool byte_less = key.ToBytes() < other.ToBytes();
+    CHECK_EQ(key < other, byte_less)
+        << "section-local order disagrees with the byte encoding";
+  } else {
+    CHECK_EQ(key < other, key.is_dhs())
+        << "packed keys must sort before raw keys";
+  }
+  return 0;
+}
+
+std::vector<std::string> FuzzSeedCorpus() {
+  std::vector<std::string> seeds;
+  seeds.push_back(dhs::StoreKey::Dhs(0, 0, 0).ToBytes());
+  seeds.push_back(dhs::StoreKey::Dhs(77, 12, 500).ToBytes());
+  seeds.push_back(dhs::StoreKey::Dhs(~uint64_t{0}, 255, 65535).ToBytes());
+  seeds.push_back("rec-42");
+  seeds.push_back("D not a packed key");  // 'D' prefix, wrong length
+  seeds.push_back(std::string(12, 'D'));  // right length, packed-shaped
+  seeds.push_back(std::string());
+  return seeds;
+}
+
+#include "fuzz_driver.h"

@@ -268,7 +268,7 @@ TEST(AdvancedFromDhsTest, TwoPhaseConstruction) {
     // The summary's total must track the relation cardinality.
     EXPECT_NEAR(TotalOf(result->buckets),
                 static_cast<double>(relation.NumTuples()),
-                0.5 * relation.NumTuples());
+                0.5 * static_cast<double>(relation.NumTuples()));
     // Under strong skew, the head cells deserve narrow buckets: the
     // first bucket should be far narrower than the domain/8 average.
     EXPECT_LT(result->buckets.front().Width(), 50 / 8 + 1);

@@ -209,9 +209,11 @@ TEST_F(FaultToleranceTest, MissProbabilityDropsWithReplication) {
   const size_t repl_before = count_coordinates(9);
   FailFraction(0.2, 55);
   const double plain_survival =
-      static_cast<double>(count_coordinates(8)) / plain_before;
+      static_cast<double>(count_coordinates(8)) /
+      static_cast<double>(plain_before);
   const double repl_survival =
-      static_cast<double>(count_coordinates(9)) / repl_before;
+      static_cast<double>(count_coordinates(9)) /
+      static_cast<double>(repl_before);
   EXPECT_GT(repl_survival, plain_survival);
   EXPECT_GT(repl_survival, 0.95);
 }

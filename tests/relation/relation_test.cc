@@ -140,7 +140,7 @@ TEST(AssignTuplesTest, RoughlyBalanced) {
   std::vector<uint64_t> nodes = {1, 2, 3, 4, 5, 6, 7, 8};
   const auto assignment = AssignTuplesToNodes(relation, nodes, rng);
   for (const auto& [node, tuples] : assignment) {
-    EXPECT_NEAR(tuples.size(), 1250, 200);
+    EXPECT_NEAR(static_cast<double>(tuples.size()), 1250, 200);
   }
 }
 

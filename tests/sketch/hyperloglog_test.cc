@@ -32,7 +32,7 @@ TEST(HllSketchTest, LinearCountingSmallRange) {
     HllSketch sketch(256, 24);
     for (uint64_t i = 0; i < n; ++i) sketch.AddHash(rng.Next());
     EXPECT_NEAR(sketch.Estimate(), static_cast<double>(n),
-                std::max(2.0, 0.25 * n))
+                std::max(2.0, 0.25 * static_cast<double>(n)))
         << n;
   }
 }

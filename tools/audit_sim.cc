@@ -1,0 +1,655 @@
+// audit_sim — differential model checker for the DHS simulator.
+//
+// Drives a deterministic randomized sequence of overlay operations
+// (join / graceful leave / abrupt failure / raw put / get / clock ticks
+// / DHS inserts / distributed counts) against BOTH the real simulator
+// and an independent brute-force reference model, and cross-checks
+// every observable after every step:
+//
+//   * membership: node count, successor/predecessor, range counts;
+//   * responsibility: ResponsibleNode vs a cache-free argmin scan;
+//   * routes: Lookup hop counts vs a cache-free re-execution of the
+//     same greedy rules (closest-preceding-finger for Chord, one-bit-
+//     per-hop XOR descent for Kademlia);
+//   * cost accounting: MessageStats deltas vs reference-predicted
+//     message/hop/byte counts, and vs the client's own DhsCostReport;
+//   * store contents: every reference record retrievable with its exact
+//     value, no extra live raw records anywhere;
+//   * estimates: Count observables and estimates vs a global scan over
+//     all node stores (lim >= N forces the probe walk to be exhaustive,
+//     so any divergence is a simulator bug, not sampling noise);
+//   * the full invariant audit (DhtNetwork::AuditFull + DhsClient::
+//     AuditFull) at every checkpoint.
+//
+// Any divergence aborts with a CHECK failure naming the step and the
+// disagreeing values. Exit code 0 means N steps of zero divergence.
+//
+// Usage: audit_sim [--geometry=chord|kademlia|both] [--steps=10000]
+//                  [--seed=1] [--estimator=sll|pcsa|hll]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "dhs/client.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "hashing/hasher.h"
+#include "sketch/estimator.h"
+#include "sketch/hyperloglog.h"
+
+namespace dhs {
+namespace {
+
+enum class Geometry { kChord, kKademlia };
+
+// ---------------------------------------------------------------------------
+// Reference model: membership as a plain std::set, records as a plain
+// std::map, every query answered by exhaustive scan. No caches, no
+// incremental state — nothing to go stale.
+// ---------------------------------------------------------------------------
+
+struct RefRecord {
+  uint64_t dht_key = 0;
+  std::string value;
+  uint64_t expires_at = kNoExpiry;
+};
+
+class RefModel {
+ public:
+  RefModel(Geometry geometry, const IdSpace& space)
+      : geometry_(geometry), space_(space) {}
+
+  void Join(uint64_t id) { members_.insert(id); }
+  void Leave(uint64_t id) { members_.erase(id); }
+
+  /// Abrupt failure: records at the failed node are lost. "At" is
+  /// derived, not tracked: the responsible node of the record's key.
+  void Fail(uint64_t id) {
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (Responsible(it->second.dht_key) == id) {
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    members_.erase(id);
+  }
+
+  void Put(const std::string& key, uint64_t dht_key, std::string value,
+           uint64_t expires_at) {
+    records_[key] = RefRecord{dht_key, std::move(value), expires_at};
+  }
+
+  void Tick(uint64_t ticks) {
+    now_ += ticks;
+    for (auto it = records_.begin(); it != records_.end();) {
+      if (it->second.expires_at <= now_) {
+        it = records_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  uint64_t now() const { return now_; }
+  size_t NumNodes() const { return members_.size(); }
+  const std::set<uint64_t>& members() const { return members_; }
+  const std::map<std::string, RefRecord>& records() const { return records_; }
+
+  uint64_t RandomMember(Rng& rng) const {
+    auto it = members_.begin();
+    std::advance(it, static_cast<long>(rng.UniformU64(members_.size())));
+    return *it;
+  }
+
+  /// First live node at or clockwise after `key` (Chord successor).
+  uint64_t Successor(uint64_t key) const {
+    auto it = members_.lower_bound(key);
+    return it != members_.end() ? *it : *members_.begin();
+  }
+
+  uint64_t Predecessor(uint64_t id) const {
+    auto it = members_.lower_bound(id);
+    if (it == members_.begin()) return *members_.rbegin();
+    return *std::prev(it);
+  }
+
+  /// Exhaustive-scan responsibility under this geometry.
+  uint64_t Responsible(uint64_t key) const {
+    key = space_.Clamp(key);
+    if (geometry_ == Geometry::kChord) return Successor(key);
+    uint64_t best = *members_.begin();
+    for (uint64_t id : members_) {
+      if ((id ^ key) < (best ^ key)) best = id;
+    }
+    return best;
+  }
+
+  size_t CountInRange(uint64_t lo, uint64_t hi) const {
+    if (lo == hi) return 0;  // degenerate empty range
+    size_t count = 0;
+    for (uint64_t id : members_) {
+      const bool inside = lo < hi ? (id >= lo && id < hi)    // plain
+                                  : (id >= lo || id < hi);   // wraps 2^L
+      if (inside) ++count;
+    }
+    return count;
+  }
+
+  /// Cache-free re-execution of the simulator's greedy routing rules;
+  /// returns the hop count to the responsible node of `key`.
+  int RouteHops(uint64_t from, uint64_t key) const {
+    key = space_.Clamp(key);
+    return geometry_ == Geometry::kChord ? ChordHops(from, key)
+                                         : KademliaHops(from, key);
+  }
+
+ private:
+  int ChordHops(uint64_t from, uint64_t key) const {
+    uint64_t cur = from;
+    int hops = 0;
+    while (true) {
+      CHECK_LT(hops, 1000) << "reference chord route did not converge";
+      // Responsible iff key in (predecessor(cur), cur].
+      if (space_.InIntervalExclIncl(key, Predecessor(cur), cur)) return hops;
+      // Closest preceding finger: finger i = successor(cur + 2^i).
+      const uint64_t dist = space_.Distance(cur, key);
+      uint64_t next = 0;
+      bool found = false;
+      for (int i = dist > 1 ? Log2Floor(dist) : 0; i >= 0 && !found; --i) {
+        const uint64_t finger =
+            Successor(space_.Add(cur, uint64_t{1} << i));
+        if (space_.InIntervalExclExcl(finger, cur, key)) {
+          next = finger;
+          found = true;
+        }
+      }
+      if (!found) next = Successor(space_.Add(cur, 1));
+      cur = next;
+      ++hops;
+    }
+  }
+
+  int KademliaHops(uint64_t from, uint64_t key) const {
+    uint64_t cur = from;
+    int hops = 0;
+    while (true) {
+      CHECK_LT(hops, 1000) << "reference kademlia route did not converge";
+      const uint64_t diff = cur ^ key;
+      if (diff == 0) return hops;
+      const int b = Log2Floor(diff);
+      const uint64_t block_size = uint64_t{1} << b;
+      const uint64_t block_lo = (cur ^ block_size) & ~(block_size - 1);
+      // Contact: the block member XOR-closest to *cur* (the simulator's
+      // converged-k-bucket model); empty block => jump straight to the
+      // key's responsible node.
+      uint64_t next = cur;
+      uint64_t best_dist = ~uint64_t{0};
+      for (auto it = members_.lower_bound(block_lo);
+           it != members_.end() && *it - block_lo < block_size; ++it) {
+        if ((*it ^ cur) < best_dist) {
+          best_dist = *it ^ cur;
+          next = *it;
+        }
+      }
+      if (next == cur) next = Responsible(key);  // block was empty
+      if (next == cur) return hops;
+      cur = next;
+      ++hops;
+    }
+  }
+
+  Geometry geometry_;
+  IdSpace space_;
+  uint64_t now_ = 0;
+  std::set<uint64_t> members_;
+  std::map<std::string, RefRecord> records_;
+};
+
+// ---------------------------------------------------------------------------
+// Differential driver
+// ---------------------------------------------------------------------------
+
+struct SimOptions {
+  Geometry geometry = Geometry::kChord;
+  int steps = 10000;
+  uint64_t seed = 1;
+  DhsEstimator estimator = DhsEstimator::kSuperLogLog;
+};
+
+class DifferentialSim {
+ public:
+  explicit DifferentialSim(const SimOptions& options)
+      : options_(options),
+        net_(MakeNetwork(options.geometry)),
+        ref_(options.geometry, net_->space()),
+        rng_(options.seed),
+        item_hasher_(options.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  void Run() {
+    Bootstrap();
+    for (step_ = 0; step_ < options_.steps; ++step_) {
+      const uint64_t roll = rng_.UniformU64(100);
+      if (roll < 6) {
+        DoJoin();
+      } else if (roll < 10) {
+        DoLeaveOrFail();
+      } else if (roll < 35) {
+        DoPut();
+      } else if (roll < 60) {
+        DoGet();
+      } else if (roll < 70) {
+        DoTick();
+      } else if (roll < 90) {
+        DoLookupProbe();
+      } else {
+        DoDhsInsert();
+      }
+      CheckMembership();
+      if (step_ % 250 == 249) CheckStoresAgainstReference();
+      if (step_ % 500 == 499) CheckCountsAgainstGlobalScan();
+      if (step_ % 100 == 99) RunFullAudit();
+    }
+    CheckStoresAgainstReference();
+    CheckCountsAgainstGlobalScan();
+    RunFullAudit();
+    std::printf("audit_sim: %s/%s: %d steps, %" PRIu64
+                " ops, 0 divergences\n",
+                net_->GeometryName(), DhsEstimatorName(options_.estimator),
+                options_.steps, ops_);
+  }
+
+ private:
+  static std::unique_ptr<DhtNetwork> MakeNetwork(Geometry geometry) {
+    OverlayConfig config;
+    config.hasher = "mix";
+    if (geometry == Geometry::kChord) {
+      return std::make_unique<ChordNetwork>(config);
+    }
+    return std::make_unique<KademliaNetwork>(config);
+  }
+
+  void Bootstrap() {
+    for (int i = 0; i < 48; ++i) {
+      const uint64_t id = rng_.Next();
+      if (net_->AddNode(id).ok()) ref_.Join(id);
+    }
+    DhsConfig config;
+    config.k = 24;
+    config.m = 16;
+    config.estimator = options_.estimator;
+    // lim far above any node count this run reaches: the counting walk
+    // must be exhaustive, making estimates deterministic functions of
+    // store contents (comparable against the global scan below).
+    config.lim = kMaxNodes + 8;
+    config.max_lim = config.lim;
+    config.ttl_ticks = 400;
+    auto client = DhsClient::Create(net_.get(), config);
+    CHECK_OK(client) << "bootstrap client";
+    client_ = std::make_unique<DhsClient>(std::move(client.value()));
+  }
+
+  // ---- Operations (each mirrored into the reference) ---------------------
+
+  void DoJoin() {
+    if (ref_.NumNodes() >= kMaxNodes) return;
+    const uint64_t id = rng_.Next();
+    const Status s = net_->AddNode(id);
+    if (ref_.members().count(id) > 0) {
+      CHECK(s.IsInvalidArgument())
+          << "step " << step_ << ": duplicate join not rejected";
+      return;
+    }
+    CHECK_OK(s) << "step " << step_ << ": join";
+    ref_.Join(id);
+    ++ops_;
+  }
+
+  void DoLeaveOrFail() {
+    if (ref_.NumNodes() <= kMinNodes) return;
+    const uint64_t victim = ref_.RandomMember(rng_);
+    if (rng_.UniformU64(2) == 0) {
+      CHECK_OK(net_->RemoveNode(victim)) << "step " << step_ << ": leave";
+      ref_.Leave(victim);
+    } else {
+      // Reference drops the victim's records *before* forgetting it
+      // (responsibility is evaluated in the pre-failure membership).
+      ref_.Fail(victim);
+      CHECK_OK(net_->FailNode(victim)) << "step " << step_ << ": fail";
+    }
+    ++ops_;
+  }
+
+  void DoPut() {
+    // The routing key is a hash of the record name (as a real DHT would
+    // route it): re-puts overwrite in place instead of stranding stale
+    // copies under a different random key.
+    const uint64_t idx = rng_.UniformU64(64);
+    const std::string key = "rec-" + std::to_string(idx);
+    const std::string value = "v" + std::to_string(rng_.Next());
+    const uint64_t dht_key = key_hasher_.HashU64(idx);
+    const uint64_t ttl = 1 + rng_.UniformU64(60);
+    const uint64_t from = ref_.RandomMember(rng_);
+
+    const MessageStats before = net_->stats();
+    const int expect_hops = ref_.RouteHops(from, dht_key);
+    auto holder = net_->Put(from, dht_key, key, value, ttl);
+    CHECK_OK(holder) << "step " << step_ << ": put";
+    CHECK_EQ(holder.value(), ref_.Responsible(dht_key))
+        << "step " << step_ << ": put landed on the wrong node";
+    ExpectStatsDelta(before, 1, expect_hops,
+                     static_cast<uint64_t>(expect_hops) *
+                         (key.size() + value.size()),
+                     "put");
+    ref_.Put(key, dht_key, value, ref_.now() + ttl);
+    ++ops_;
+  }
+
+  void DoGet() {
+    const uint64_t from = ref_.RandomMember(rng_);
+    // Half the time aim at a key the reference says is live.
+    std::string key;
+    uint64_t dht_key;
+    if (!ref_.records().empty() && rng_.UniformU64(2) == 0) {
+      auto it = ref_.records().begin();
+      std::advance(it, static_cast<long>(
+                           rng_.UniformU64(ref_.records().size())));
+      key = it->first;
+      dht_key = it->second.dht_key;
+    } else {
+      const uint64_t idx = rng_.UniformU64(96);
+      key = "rec-" + std::to_string(idx);
+      dht_key = key_hasher_.HashU64(idx);
+    }
+
+    const auto ref_it = ref_.records().find(key);
+    const MessageStats before = net_->stats();
+    const int expect_hops = ref_.RouteHops(from, dht_key);
+    auto value = net_->GetValue(from, dht_key, key);
+    if (ref_it != ref_.records().end()) {
+      CHECK_OK(value) << "step " << step_
+                      << ": live reference record not retrievable: " << key;
+      CHECK(value.value() == ref_it->second.value)
+          << "step " << step_ << ": value mismatch for " << key << ": got "
+          << value.value() << " want " << ref_it->second.value;
+    } else {
+      CHECK(value.status().IsNotFound())
+          << "step " << step_ << ": phantom record " << key << ": "
+          << value.status().ToString();
+    }
+    ExpectStatsDelta(before, 1, expect_hops,
+                     static_cast<uint64_t>(expect_hops) * key.size(), "get");
+    ++ops_;
+  }
+
+  void DoTick() {
+    const uint64_t ticks = 1 + rng_.UniformU64(8);
+    net_->AdvanceClock(ticks);
+    ref_.Tick(ticks);
+    CHECK_EQ(net_->now(), ref_.now()) << "step " << step_ << ": clock skew";
+    ++ops_;
+  }
+
+  void DoLookupProbe() {
+    const uint64_t from = ref_.RandomMember(rng_);
+    const uint64_t key = rng_.Next();
+    const MessageStats before = net_->stats();
+    const int expect_hops = ref_.RouteHops(from, key);
+    auto result = net_->Lookup(from, key, 7);
+    CHECK_OK(result) << "step " << step_ << ": lookup";
+    CHECK_EQ(result->node, ref_.Responsible(key))
+        << "step " << step_ << ": lookup resolved the wrong node";
+    CHECK_EQ(result->hops, expect_hops)
+        << "step " << step_ << ": hop count diverges from the cache-free "
+        << "re-execution of the routing rules (stale cache?)";
+    ExpectStatsDelta(before, 1, expect_hops,
+                     static_cast<uint64_t>(expect_hops) * 7, "lookup");
+    ++ops_;
+  }
+
+  void DoDhsInsert() {
+    const uint64_t metric = 1 + rng_.UniformU64(2);
+    std::vector<uint64_t> batch;
+    const uint64_t n = 1 + rng_.UniformU64(200);
+    for (uint64_t i = 0; i < n; ++i) {
+      batch.push_back(item_hasher_.HashU64(next_item_++));
+    }
+    const MessageStats before = net_->stats();
+    CHECK_OK(client_->InsertBatch(ref_.RandomMember(rng_), metric, batch,
+                                  rng_))
+        << "step " << step_ << ": insert batch";
+    CHECK_GE(net_->stats().messages, before.messages)
+        << "step " << step_ << ": stats went backwards";
+    ++ops_;
+  }
+
+  // ---- Differential checks ----------------------------------------------
+
+  void ExpectStatsDelta(const MessageStats& before, uint64_t messages,
+                        int hops, uint64_t bytes, const char* op) {
+    const MessageStats& after = net_->stats();
+    CHECK_EQ(after.messages - before.messages, messages)
+        << "step " << step_ << ": " << op << " message accounting";
+    CHECK_EQ(after.hops - before.hops, static_cast<uint64_t>(hops))
+        << "step " << step_ << ": " << op << " hop accounting";
+    CHECK_EQ(after.bytes - before.bytes, bytes)
+        << "step " << step_ << ": " << op << " byte accounting";
+  }
+
+  void CheckMembership() {
+    CHECK_EQ(net_->NumNodes(), ref_.NumNodes())
+        << "step " << step_ << ": node count";
+    // Spot-check responsibility and neighbours with fresh random keys.
+    for (int i = 0; i < 4; ++i) {
+      const uint64_t key = rng_.Next();
+      auto responsible = net_->ResponsibleNode(key);
+      CHECK_OK(responsible) << "step " << step_;
+      CHECK_EQ(responsible.value(), ref_.Responsible(key))
+          << "step " << step_ << ": responsibility for key " << key;
+    }
+    const uint64_t probe = ref_.RandomMember(rng_);
+    auto succ = net_->SuccessorOfNode(probe);
+    auto pred = net_->PredecessorOfNode(probe);
+    CHECK(succ.ok() && pred.ok()) << "step " << step_;
+    CHECK_EQ(succ.value(), ref_.Successor(space().Add(probe, 1)))
+        << "step " << step_ << ": successor of " << probe;
+    CHECK_EQ(pred.value(), ref_.Predecessor(probe))
+        << "step " << step_ << ": predecessor of " << probe;
+    const uint64_t lo = rng_.Next();
+    const uint64_t hi = rng_.Next();
+    CHECK_EQ(net_->CountNodesInRange(lo, hi), ref_.CountInRange(lo, hi))
+        << "step " << step_ << ": range count [" << lo << ", " << hi << ")";
+  }
+
+  void CheckStoresAgainstReference() {
+    // Every live reference record must be retrievable with its exact
+    // value, and the network must hold no extra live raw records.
+    const uint64_t from = ref_.RandomMember(rng_);
+    for (const auto& [key, rec] : ref_.records()) {
+      auto value = net_->GetValue(from, rec.dht_key, key);
+      CHECK_OK(value) << "step " << step_ << ": reference record " << key
+                      << " missing from the network";
+      CHECK(value.value() == rec.value)
+          << "step " << step_ << ": stale value for " << key;
+    }
+    size_t live_raw = 0;
+    for (uint64_t node : net_->NodeIds()) {
+      net_->StoreAt(node)->ForEach(
+          net_->now(), [&](const StoreKey& key, const StoreRecord&) {
+            if (!key.is_dhs()) ++live_raw;
+          });
+    }
+    CHECK_EQ(live_raw, ref_.records().size())
+        << "step " << step_ << ": live raw record count diverges";
+  }
+
+  void CheckCountsAgainstGlobalScan() {
+    if (next_item_ == 0) return;  // nothing inserted yet
+    for (uint64_t metric : {uint64_t{1}, uint64_t{2}}) {
+      const MessageStats before = net_->stats();
+      auto result = client_->Count(ref_.RandomMember(rng_), metric, rng_);
+      CHECK_OK(result) << "step " << step_ << ": count metric " << metric;
+      // The client's own cost report must agree with the network's
+      // books: both sides account every probe, hop and byte.
+      const MessageStats& after = net_->stats();
+      CHECK_EQ(after.hops - before.hops,
+               static_cast<uint64_t>(result->cost.hops))
+          << "step " << step_ << ": count hop accounting";
+      CHECK_EQ(after.bytes - before.bytes, result->cost.bytes)
+          << "step " << step_ << ": count byte accounting";
+      CHECK_EQ(after.messages - before.messages,
+               static_cast<uint64_t>(result->cost.dht_lookups +
+                                     result->cost.direct_probes))
+          << "step " << step_ << ": count message accounting";
+
+      const std::vector<int> expected = GlobalScanObservables(metric);
+      CHECK(result->observables == expected)
+          << "step " << step_ << ": metric " << metric
+          << ": probe-walk observables diverge from the global store scan "
+          << "(lim >= N, so the walk must have been exhaustive)";
+      const double expected_estimate = EstimateFromObservables(expected);
+      CHECK(result->estimate == expected_estimate)
+          << "step " << step_ << ": metric " << metric << ": estimate "
+          << result->estimate << " vs global-scan estimate "
+          << expected_estimate;
+    }
+    ++ops_;
+  }
+
+  /// Rebuilds the per-bitmap observables from a scan over every store —
+  /// the ground truth the probe walk must reproduce.
+  std::vector<int> GlobalScanObservables(uint64_t metric) const {
+    const int m = client_->config().m;
+    const int min_bit = client_->mapping().MinBit();
+    const int max_bit = client_->mapping().MaxBit();
+    // present[r][v]: a live tuple (metric, r, v) exists somewhere.
+    std::vector<std::vector<char>> present(
+        static_cast<size_t>(max_bit + 1),
+        std::vector<char>(static_cast<size_t>(m), 0));
+    for (uint64_t node : net_->NodeIds()) {
+      net_->StoreAt(node)->ForEachDhsMetric(
+          metric, net_->now(),
+          [&](const StoreKey& key, const StoreRecord&) {
+            if (key.bit() <= max_bit && key.vector_id() < m) {
+              present[static_cast<size_t>(key.bit())]
+                     [static_cast<size_t>(key.vector_id())] = 1;
+            }
+          });
+    }
+    std::vector<int> observables(static_cast<size_t>(m));
+    if (client_->config().estimator == DhsEstimator::kPcsa) {
+      // Leftmost zero; saturation = max_bit + 1.
+      for (int v = 0; v < m; ++v) {
+        int leftmost_zero = max_bit + 1;
+        for (int r = min_bit; r <= max_bit; ++r) {
+          if (!present[static_cast<size_t>(r)][static_cast<size_t>(v)]) {
+            leftmost_zero = r;
+            break;
+          }
+        }
+        observables[static_cast<size_t>(v)] = leftmost_zero;
+      }
+    } else {
+      // Max rho; -1 for bitmaps that never saw an item.
+      for (int v = 0; v < m; ++v) {
+        int max_rho = -1;
+        for (int r = max_bit; r >= min_bit; --r) {
+          if (present[static_cast<size_t>(r)][static_cast<size_t>(v)]) {
+            max_rho = r;
+            break;
+          }
+        }
+        observables[static_cast<size_t>(v)] = max_rho;
+      }
+    }
+    return observables;
+  }
+
+  double EstimateFromObservables(const std::vector<int>& observables) const {
+    switch (client_->config().estimator) {
+      case DhsEstimator::kPcsa:
+        return PcsaEstimateFromM(observables);
+      case DhsEstimator::kHyperLogLog:
+        return HyperLogLogEstimateFromM(observables);
+      case DhsEstimator::kSuperLogLog:
+        break;
+    }
+    return SuperLogLogEstimateFromM(observables, client_->config().theta0);
+  }
+
+  void RunFullAudit() {
+    CHECK_OK(net_->AuditFull()) << "step " << step_;
+    CHECK_OK(client_->AuditFull()) << "step " << step_;
+  }
+
+  const IdSpace& space() const { return net_->space(); }
+
+  static constexpr size_t kMaxNodes = 96;
+  static constexpr size_t kMinNodes = 12;
+
+  SimOptions options_;
+  std::unique_ptr<DhtNetwork> net_;
+  RefModel ref_;
+  Rng rng_;
+  MixHasher item_hasher_;
+  MixHasher key_hasher_{0x7265636f72647321ull};
+  std::unique_ptr<DhsClient> client_;
+  int step_ = 0;
+  uint64_t ops_ = 0;
+  uint64_t next_item_ = 0;
+};
+
+int Main(int argc, char** argv) {
+  SimOptions options;
+  bool both = true;  // default: both geometries, one report each
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--steps=", 0) == 0) {
+      options.steps = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--geometry=chord") {
+      options.geometry = Geometry::kChord;
+      both = false;
+    } else if (arg == "--geometry=kademlia") {
+      options.geometry = Geometry::kKademlia;
+      both = false;
+    } else if (arg == "--geometry=both") {
+      both = true;
+    } else if (arg == "--estimator=sll") {
+      options.estimator = DhsEstimator::kSuperLogLog;
+    } else if (arg == "--estimator=pcsa") {
+      options.estimator = DhsEstimator::kPcsa;
+    } else if (arg == "--estimator=hll") {
+      options.estimator = DhsEstimator::kHyperLogLog;
+    } else {
+      std::fprintf(stderr,
+                   "usage: audit_sim [--geometry=chord|kademlia|both] "
+                   "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll]\n");
+      return 2;
+    }
+  }
+  if (both) {
+    for (Geometry g : {Geometry::kChord, Geometry::kKademlia}) {
+      SimOptions o = options;
+      o.geometry = g;
+      DifferentialSim(o).Run();
+    }
+    return 0;
+  }
+  DifferentialSim(options).Run();
+  return 0;
+}
+
+}  // namespace
+}  // namespace dhs
+
+int main(int argc, char** argv) { return dhs::Main(argc, argv); }
