@@ -73,6 +73,8 @@ void Run() {
         auto ids = net->NodeIds();
         for (uint64_t id : ids) {
           if (net->NumNodes() <= 16) break;
+          // A node may already have failed this round; dropping the
+          // NotFound is the point of the ablation.
           if (rng.Bernoulli(failure_fraction)) (void)net->FailNode(id);
         }
         for (int t = 0; t < counts; ++t) {

@@ -84,6 +84,7 @@ void Run() {
     DhsClient pcsa =
         std::move(DhsClient::Create(net.get(), config).value());
     for (const auto& [node, items] : local_items) {
+      // Live origins only; failures would skew the printed estimates.
       (void)sll.InsertBatch(node, 1, items, rng);
     }
     net->ResetStats();
@@ -103,6 +104,7 @@ void Run() {
                            CentralCounter::Mode::kExactSet);
     net->ResetLoads();
     for (const auto& [node, items] : local_items) {
+      // The central-counter baseline cannot fail on a live overlay.
       for (uint64_t item : items) (void)counter.Add(node, item);
     }
     uint64_t hottest = 0;

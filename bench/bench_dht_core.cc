@@ -66,6 +66,7 @@ CoreResult BenchLookup(DhtNetwork& net, int nodes, long iters) {
   Rng warm_rng(771);
   const long warmup = std::max<long>(iters * 2, 1000);
   for (long i = 0; i < warmup; ++i) {
+    // Warm-up traffic; only the cache-priming side effect matters.
     (void)net.Lookup(ids[warm_rng.UniformU64(ids.size())],
                      warm_rng.Next(), 16);
   }
@@ -189,7 +190,8 @@ void Run() {
   const long ticks = EnvInt("DHS_CORE_TICKS", 200);
   const long records = EnvInt("DHS_CORE_RECORDS", 100000);
   const long store_ops = EnvInt("DHS_CORE_STORE_OPS", 200000);
-  const char* json_env = std::getenv("DHS_CORE_JSON");
+  // Read before any worker thread exists; nothing calls setenv.
+  const char* json_env = std::getenv("DHS_CORE_JSON");  // NOLINT(concurrency-mt-unsafe)
   const std::string json_path =
       json_env != nullptr && json_env[0] != '\0' ? json_env
                                                  : "BENCH_dht_core.json";

@@ -78,7 +78,7 @@ void Run() {
     ChordNetwork chord(config);
     Rng rng(1);
     while (chord.NumNodes() < static_cast<size_t>(nodes)) {
-      (void)chord.AddNode(rng.Next());
+      (void)chord.AddNode(rng.Next());  // duplicate ID: retry
     }
     RunGeometry(&chord, "chord", scale, counts);
   }
@@ -88,7 +88,7 @@ void Run() {
     KademliaNetwork kademlia(config);
     Rng rng(1);
     while (kademlia.NumNodes() < static_cast<size_t>(nodes)) {
-      (void)kademlia.AddNode(rng.Next());
+      (void)kademlia.AddNode(rng.Next());  // duplicate ID: retry
     }
     RunGeometry(&kademlia, "kademlia", scale, counts);
   }

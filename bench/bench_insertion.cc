@@ -45,6 +45,8 @@ void Run() {
     net->ResetStats();
     constexpr int kSingles = 5000;
     for (int i = 0; i < kSingles; ++i) {
+      // Insert cannot fail on a live, non-empty overlay; the cost rows
+      // below are the observable.
       (void)client.Insert(net->RandomNode(rng), 42,
                           hasher.HashU64(static_cast<uint64_t>(i)), rng);
     }

@@ -57,6 +57,7 @@ void Run() {
       maintainer.RegisterItem(node, 1, hash);
     };
     for (uint64_t i = 0; i < items; ++i) add_item();
+    // Refresh cost is read from the stats delta, not the return value.
     (void)maintainer.RefreshRound(rng);
 
     constexpr int kTicks = 16;
@@ -78,6 +79,7 @@ void Run() {
 
       net->ResetStats();
       if (tick % refresh_period == 0) {
+        // As above: cost accounting is the observable.
         (void)maintainer.RefreshRound(rng);
       }
       maintenance_bytes += net->stats().bytes;

@@ -10,18 +10,30 @@ namespace dhs {
 namespace bench {
 
 double EnvDouble(const char* name, double fallback) {
-  const char* value = std::getenv(name);
+  // Env overrides are read during single-threaded bench setup, before
+  // any RunTrials worker exists, and nothing in the repo calls setenv.
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr || value[0] == '\0') return fallback;
   return std::atof(value);
 }
 
 int EnvInt(const char* name, int fallback) {
-  const char* value = std::getenv(name);
+  // See EnvDouble on why the unguarded getenv is safe here.
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr || value[0] == '\0') return fallback;
   return std::atoi(value);
 }
 
 double WorkloadScale() { return EnvDouble("DHS_SCALE", 0.1); }
+
+int TrialCount(int fallback) { return EnvInt("DHS_TRIALS", fallback); }
+
+int TrialThreads() { return EnvInt("DHS_THREADS", DefaultTrialThreads()); }
+
+void PrintRunnerFooter(int trials, int threads, double wall_seconds) {
+  std::printf("runner: trials/point=%d threads=%d wall=%.2fs\n", trials,
+              threads, wall_seconds);
+}
 
 std::unique_ptr<ChordNetwork> MakeNetwork(int nodes, uint64_t seed,
                                           const std::string& hasher) {
@@ -64,6 +76,8 @@ MessageStats PopulateRelation(DhtNetwork& net, DhsClient& client,
     for (uint64_t t : tuples) {
       hashes.push_back(hasher.HashU64(relation.TupleId(t)));
     }
+    // All origins are live members, so InsertBatch cannot fail; any
+    // logic bug surfaces in the benches' error/cost rows.
     (void)client.InsertBatch(node, metric, hashes, rng);
   }
   return net.stats() - before;
@@ -82,6 +96,7 @@ MessageStats PopulateHistogram(DhtNetwork& net, DhsHistogram& histogram,
       items.emplace_back(hasher.HashU64(relation.TupleId(t)),
                          relation.Value(t));
     }
+    // Same justification as PopulateRelation above.
     (void)histogram.InsertBatch(node, items, rng);
   }
   return net.stats() - before;
@@ -109,6 +124,13 @@ void CountingCostSummary::Add(const DhsCostReport& cost, double estimate,
   hops.Add(cost.hops);
   bytes.Add(static_cast<double>(cost.bytes));
   error.Add(RelativeError(estimate, truth));
+}
+
+void CountingCostSummary::Merge(const CountingCostSummary& other) {
+  nodes_visited.Merge(other.nodes_visited);
+  hops.Merge(other.hops);
+  bytes.Merge(other.bytes);
+  error.Merge(other.error);
 }
 
 }  // namespace bench

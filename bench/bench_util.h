@@ -20,6 +20,7 @@
 
 #include "common/random.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "dhs/client.h"
 #include "dht/chord.h"
 #include "histogram/dhs_histogram.h"
@@ -34,6 +35,20 @@ int EnvInt(const char* name, int fallback);
 
 /// The global workload scale factor (DHS_SCALE, default 0.1).
 double WorkloadScale();
+
+/// Independent seeded trials per sweep point (DHS_TRIALS, default
+/// `fallback`). Trials run in parallel through RunTrials
+/// (common/thread_pool.h) and aggregate in trial-index order, so the
+/// printed rows are identical at every thread count.
+int TrialCount(int fallback = 1);
+
+/// Worker threads for the trial runner (DHS_THREADS, default: hardware
+/// concurrency).
+int TrialThreads();
+
+/// Prints the standard "trials=T threads=J wall=S" footer of a
+/// parallel sweep.
+void PrintRunnerFooter(int trials, int threads, double wall_seconds);
 
 /// Builds an N-node overlay with MixHasher-derived node IDs (MD4 gives
 /// identical distributions but is ~20x slower; pass hasher = "md4" to use
@@ -73,6 +88,10 @@ struct CountingCostSummary {
   StreamingStats error;  // relative error per count
 
   void Add(const DhsCostReport& cost, double estimate, double truth);
+
+  /// Parallel-trial aggregation; call in trial-index order so the
+  /// merged stats are independent of scheduling.
+  void Merge(const CountingCostSummary& other);
 };
 
 }  // namespace bench

@@ -24,13 +24,13 @@ class CentralCounter {
   CentralCounter(DhtNetwork* network, uint64_t metric_id, Mode mode);
 
   /// ID of the (current) hosting node.
-  StatusOr<uint64_t> CounterNode() const;
+  [[nodiscard]] StatusOr<uint64_t> CounterNode() const;
 
   /// Records one item from `origin_node` (one O(log N) lookup).
-  Status Add(uint64_t origin_node, uint64_t item_hash);
+  [[nodiscard]] Status Add(uint64_t origin_node, uint64_t item_hash);
 
   /// Reads the counter value from `origin_node` (one O(log N) lookup).
-  StatusOr<double> Read(uint64_t origin_node);
+  [[nodiscard]] StatusOr<double> Read(uint64_t origin_node);
 
  private:
   DhtNetwork* network_;

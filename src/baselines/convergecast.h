@@ -38,7 +38,7 @@ class ConvergecastAggregator {
 
   /// Runs one full broadcast/convergecast query from `origin_node`.
   /// `num_bitmaps`/`bits` configure the sketches (ignored for kTallySum).
-  StatusOr<Result> Count(uint64_t origin_node, Mode mode, int num_bitmaps,
+  [[nodiscard]] StatusOr<Result> Count(uint64_t origin_node, Mode mode, int num_bitmaps,
                          int bits);
 
  private:

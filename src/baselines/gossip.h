@@ -43,7 +43,7 @@ class PushSumGossip {
 
   /// Runs until the querying node's estimate changes by less than
   /// `tolerance` (relative) for 3 consecutive rounds, or `max_rounds`.
-  StatusOr<GossipResult> Run(uint64_t origin_node, int max_rounds,
+  [[nodiscard]] StatusOr<GossipResult> Run(uint64_t origin_node, int max_rounds,
                              double tolerance, Rng& rng);
 
  private:
@@ -58,7 +58,7 @@ class SketchGossip {
                int num_bitmaps, int bits);
 
   /// Runs exactly `rounds` rounds and reads the estimate at the origin.
-  StatusOr<GossipResult> Run(uint64_t origin_node, int rounds, Rng& rng);
+  [[nodiscard]] StatusOr<GossipResult> Run(uint64_t origin_node, int rounds, Rng& rng);
 
  private:
   DhtNetwork* network_;

@@ -37,7 +37,7 @@ class SamplingEstimator {
   /// node's key cell is generally NOT its ring arc, so the estimator is
   /// biased there — a geometry-general version would need the overlay to
   /// expose its ownership measure.
-  StatusOr<Result> EstimateTotal(uint64_t origin_node, int sample_size,
+  [[nodiscard]] StatusOr<Result> EstimateTotal(uint64_t origin_node, int sample_size,
                                  Rng& rng);
 
  private:

@@ -1,5 +1,6 @@
 #include "common/check.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dhs {
@@ -12,14 +13,17 @@ void DefaultCheckFailureHandler(const char* file, int line,
   std::abort();
 }
 
-CheckFailureHandler g_handler = &DefaultCheckFailureHandler;
+// Atomic so CHECKs failing on one thread race neither with each other
+// nor with a concurrent SetCheckFailureHandler (tests install throwing
+// handlers; the parallel trial runner can fail CHECKs on any worker).
+std::atomic<CheckFailureHandler> g_handler{&DefaultCheckFailureHandler};
 
 }  // namespace
 
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler) {
-  CheckFailureHandler previous = g_handler;
-  g_handler = handler != nullptr ? handler : &DefaultCheckFailureHandler;
-  return previous;
+  return g_handler.exchange(
+      handler != nullptr ? handler : &DefaultCheckFailureHandler,
+      std::memory_order_acq_rel);
 }
 
 namespace check_internal {
@@ -30,7 +34,7 @@ FailureStream::FailureStream(const char* file, int line, const char* prefix)
 }
 
 FailureStream::~FailureStream() noexcept(false) {
-  g_handler(file_, line_, message_.str());
+  g_handler.load(std::memory_order_acquire)(file_, line_, message_.str());
   // A handler that returns would let execution continue past a violated
   // invariant; refuse.
   std::abort();

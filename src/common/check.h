@@ -35,8 +35,10 @@ using CheckFailureHandler = void (*)(const char* file, int line,
                                      const std::string& message);
 
 /// Installs `handler` (nullptr restores the default abort handler) and
-/// returns the previously installed one. Not thread-safe; intended for
-/// test setup.
+/// returns the previously installed one. Thread-safe: the handler slot
+/// is a single atomic pointer, so concurrent installs and concurrent
+/// CHECK failures are race-free (each failing CHECK fires whichever
+/// handler was installed when it completed). Intended for test setup.
 CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
 
 namespace check_internal {

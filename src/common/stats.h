@@ -10,10 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace dhs {
 
 /// Streaming count/mean/variance/min/max accumulator (Welford's method).
-/// O(1) space; numerically stable.
+/// O(1) space; numerically stable. Thread-compatible: const accessors
+/// mutate nothing, so distinct threads may read a shared instance; any
+/// writer needs external synchronization. The parallel trial runner
+/// accumulates one instance per trial and Merge()s them serially in
+/// trial order (common/thread_pool.h).
 class StreamingStats {
  public:
   StreamingStats() = default;
@@ -41,10 +47,22 @@ class StreamingStats {
 };
 
 /// Collects raw samples for percentile queries. O(n) space.
-class SampleStats {
+///
+/// ThreadHostile: Percentile()/Median() lazily sort the sample buffer
+/// behind const, so even concurrent *readers* race. Keep instances
+/// confined to one thread (per-trial in the parallel runner) and merge
+/// on the aggregating thread.
+class SampleStats : private ThreadHostile {
  public:
   void Add(double x) {
     samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  /// Appends every sample of `other` (aggregation across trials).
+  void Merge(const SampleStats& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
     sorted_ = false;
   }
 

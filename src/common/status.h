@@ -29,7 +29,12 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// Result of a fallible operation. Instances are immutable after creation.
-class Status {
+///
+/// [[nodiscard]] at class level: silently dropping a Status hides
+/// failures, so every call site must consume it (check ok(), CHECK_OK,
+/// propagate) or cast to void with a comment justifying why the error
+/// is genuinely irrelevant.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -81,8 +86,9 @@ class Status {
 };
 
 /// A value-or-error union: either holds a T or a non-OK Status.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value and from Status, mirroring absl::StatusOr usage.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
@@ -93,17 +99,21 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // NOLINT justification below: ok() implies value_ is engaged (the only
+  // constructors are from-value and from-non-OK-status), and the CHECK
+  // on the preceding line aborts before the access on the error path —
+  // bugprone-unchecked-optional-access cannot see through either.
   const T& value() const& {
     CHECK(ok()) << "value() on error status: " << status_.ToString();
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T& value() & {
     CHECK(ok()) << "value() on error status: " << status_.ToString();
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T&& value() && {
     CHECK(ok()) << "value() on error status: " << status_.ToString();
-    return std::move(*value_);
+    return std::move(*value_);  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   const T& operator*() const& { return value(); }

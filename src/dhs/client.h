@@ -70,17 +70,17 @@ class DhsClient {
 
   /// Records one item under `metric_id`, starting from `origin_node`.
   /// Duplicate-insensitive: re-inserting refreshes the soft-state TTL.
-  Status Insert(uint64_t origin_node, uint64_t metric_id, uint64_t item_hash,
+  [[nodiscard]] Status Insert(uint64_t origin_node, uint64_t metric_id, uint64_t item_hash,
                 Rng& rng);
 
   /// Bulk insertion (§3.2): groups items by bit position and contacts one
   /// random target per bit, so a node records any number of items with at
   /// most k + 1 lookups per round.
-  Status InsertBatch(uint64_t origin_node, uint64_t metric_id,
+  [[nodiscard]] Status InsertBatch(uint64_t origin_node, uint64_t metric_id,
                      const std::vector<uint64_t>& item_hashes, Rng& rng);
 
   /// Distributed count of `metric_id` from `origin_node` (Alg. 1).
-  StatusOr<DhsCountResult> Count(uint64_t origin_node, uint64_t metric_id,
+  [[nodiscard]] StatusOr<DhsCountResult> Count(uint64_t origin_node, uint64_t metric_id,
                                  Rng& rng);
 
   /// Multi-dimension counting (§4.2): estimates all `metric_ids` in one
@@ -91,7 +91,7 @@ class DhsClient {
     std::vector<std::vector<int>> observables;  // parallel to metric_ids
     DhsCostReport cost;                        // shared sweep cost
   };
-  StatusOr<MultiCountResult> CountMany(uint64_t origin_node,
+  [[nodiscard]] StatusOr<MultiCountResult> CountMany(uint64_t origin_node,
                                        const std::vector<uint64_t>& metric_ids,
                                        Rng& rng);
 
@@ -101,7 +101,7 @@ class DhsClient {
   /// routing key inside the mapping interval of its bit (otherwise
   /// counting walks would never find it). Always available; returns OK
   /// or Internal naming the first violation.
-  Status AuditFull() const;
+  [[nodiscard]] Status AuditFull() const;
 
  private:
   DhsClient(DhtNetwork* network, const DhsConfig& config);
@@ -113,7 +113,7 @@ class DhsClient {
   /// Stores one tuple at the node responsible for a random ID in bit r's
   /// interval, plus `replication - 1` successor copies. The target key is
   /// freshly randomized per call (load balancing).
-  Status StoreTuple(uint64_t origin_node, uint64_t metric_id, int bit,
+  [[nodiscard]] Status StoreTuple(uint64_t origin_node, uint64_t metric_id, int bit,
                     const std::vector<int>& vector_ids, Rng& rng,
                     DhsCostReport* cost);
 
@@ -123,7 +123,7 @@ class DhsClient {
   /// lets the caller decide when the interval is exhausted via
   /// `done()`. Returns the probe cost.
   template <typename VisitFn, typename DoneFn>
-  Status ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
+  [[nodiscard]] Status ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
                        DhsCostReport* cost, VisitFn&& visit, DoneFn&& done);
 
   /// Reads the vectors present at `node` for (metric, bit) and charges
@@ -135,10 +135,10 @@ class DhsClient {
   /// the interval's expected density when adaptive_lim is enabled.
   int LimForBit(int bit) const;
 
-  StatusOr<MultiCountResult> CountManySll(
+  [[nodiscard]] StatusOr<MultiCountResult> CountManySll(
       uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
       Rng& rng);
-  StatusOr<MultiCountResult> CountManyPcsa(
+  [[nodiscard]] StatusOr<MultiCountResult> CountManyPcsa(
       uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
       Rng& rng);
 

@@ -83,7 +83,7 @@ struct DhsConfig {
   double theta0 = 0.7;
 
   /// Checks parameter consistency against the overlay's ID space.
-  Status Validate(const IdSpace& space) const;
+  [[nodiscard]] Status Validate(const IdSpace& space) const;
 
   /// Wire size of one DHS tuple <metric_id, vector_id, bit, time_out>.
   /// The paper's accounting (§5.1): 8 + 16 + 8 + 32 bits = 8 bytes.

@@ -50,7 +50,7 @@ class DhsMaintainer {
   /// One maintenance round: every registered node bulk-inserts its items
   /// for each metric, refreshing the soft state. Nodes no longer in the
   /// network are skipped. Returns the number of bulk rounds issued.
-  StatusOr<size_t> RefreshRound(Rng& rng);
+  [[nodiscard]] StatusOr<size_t> RefreshRound(Rng& rng);
 
   /// Total registered (node, metric, item) entries.
   size_t NumRegistrations() const;
@@ -60,7 +60,7 @@ class DhsMaintainer {
   /// item must place onto a mapped bit or be covered by the §3.5
   /// bit-shift rule, and the underlying client state must pass
   /// DhsClient::AuditFull. Returns OK or Internal naming the violation.
-  Status AuditFull() const;
+  [[nodiscard]] Status AuditFull() const;
 
  private:
   DhsClient* client_;

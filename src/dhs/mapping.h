@@ -37,7 +37,7 @@ class BitMapping {
   int MaxBit() const { return max_bit_; }
 
   /// Interval for bit position r (r in [MinBit(), MaxBit()]).
-  StatusOr<IdInterval> IntervalForBit(int r) const;
+  [[nodiscard]] StatusOr<IdInterval> IntervalForBit(int r) const;
 
   /// Uniformly random ID within the interval.
   uint64_t RandomIdIn(const IdInterval& interval, Rng& rng) const;
@@ -50,7 +50,7 @@ class BitMapping {
   /// exactly once (consecutive, non-overlapping, sizes summing to 2^L)
   /// and IntervalForBit must agree with BitForId at both endpoints of
   /// every interval. Returns OK or Internal naming the violation.
-  Status AuditFull() const;
+  [[nodiscard]] Status AuditFull() const;
 
  private:
   IdSpace space_;

@@ -30,7 +30,7 @@ class ChordNetwork : public DhtNetwork {
   const char* GeometryName() const override { return "chord"; }
 
   /// Chord responsibility: key k belongs to successor(k).
-  StatusOr<uint64_t> ResponsibleNode(uint64_t key) const override;
+  [[nodiscard]] StatusOr<uint64_t> ResponsibleNode(uint64_t key) const override;
 
   std::vector<uint64_t> ProbeCandidates(const IdInterval& interval,
                                         uint64_t probe_key,
@@ -53,7 +53,7 @@ class ChordNetwork : public DhtNetwork {
   /// the ring index: predecessor pointer and each resolved finger level
   /// must match successor(n + 2^i). Stale-epoch rows are ignored (they
   /// are reset before next use).
-  Status AuditDerivedState() const override;
+  [[nodiscard]] Status AuditDerivedState() const override;
 
  private:
   /// A node's materialized routing state against the converged ring,

@@ -36,7 +36,7 @@ class KademliaNetwork : public DhtNetwork {
   const char* GeometryName() const override { return "kademlia"; }
 
   /// XOR responsibility: argmin over live nodes of node ^ key.
-  StatusOr<uint64_t> ResponsibleNode(uint64_t key) const override;
+  [[nodiscard]] StatusOr<uint64_t> ResponsibleNode(uint64_t key) const override;
 
   std::vector<uint64_t> ProbeCandidates(const IdInterval& interval,
                                         uint64_t probe_key,
@@ -54,7 +54,7 @@ class KademliaNetwork : public DhtNetwork {
   /// kEmptyBlock slot must correspond to a block with no live node, and
   /// every cached node must still be live (the cache is dropped wholesale
   /// on membership change, so no entry can outlive its epoch).
-  Status AuditDerivedState() const override;
+  [[nodiscard]] Status AuditDerivedState() const override;
 
  private:
   /// Per-node contact cache, one slot per differing-bit level: the ring

@@ -15,7 +15,12 @@
 //
 // The simulator models a *converged* overlay: routing state is resolved
 // against the global membership map, which matches the paper's
-// evaluation setting. It is single-threaded and deterministic.
+// evaluation setting. It is single-threaded and deterministic — and
+// declared ThreadHostile (common/sync.h): geometries rebuild routing
+// caches (finger tables, bucket caches) lazily behind const paths, so a
+// network must never be shared between threads, even read-only. The
+// multi-trial runner (common/thread_pool.h) therefore constructs one
+// network per trial and statically rejects results that leak one.
 //
 // Membership is mirrored into a flat sorted vector of live IDs (the
 // "ring index") so every ring query — successor, predecessor, range
@@ -35,6 +40,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "dht/node_id.h"
 #include "dht/stats.h"
 #include "dht/store.h"
@@ -66,7 +72,7 @@ struct LookupResult {
 };
 
 /// The simulated overlay network. Owns all node state.
-class DhtNetwork {
+class DhtNetwork : private ThreadHostile {
  public:
   explicit DhtNetwork(const OverlayConfig& config = OverlayConfig());
   virtual ~DhtNetwork() = default;
@@ -84,17 +90,17 @@ class DhtNetwork {
 
   /// Adds a node with an explicit ID and hands over the keys it becomes
   /// responsible for. Fails if the ID is taken.
-  Status AddNode(uint64_t node_id);
+  [[nodiscard]] Status AddNode(uint64_t node_id);
 
   /// Adds a node whose ID is hash(name) (the paper: MD4 of address/port).
-  StatusOr<uint64_t> AddNodeFromName(std::string_view name);
+  [[nodiscard]] StatusOr<uint64_t> AddNodeFromName(std::string_view name);
 
   /// Graceful leave: the node's records migrate to whichever nodes are
   /// now responsible for their keys.
-  Status RemoveNode(uint64_t node_id);
+  [[nodiscard]] Status RemoveNode(uint64_t node_id);
 
   /// Abrupt failure: the node vanishes and its records are lost (§3.5).
-  Status FailNode(uint64_t node_id);
+  [[nodiscard]] Status FailNode(uint64_t node_id);
 
   bool Contains(uint64_t node_id) const { return nodes_.count(node_id) > 0; }
   size_t NumNodes() const { return ring_.size(); }
@@ -108,13 +114,13 @@ class DhtNetwork {
   // ---- Geometry (no message cost) ----------------------------------------
 
   /// The live node responsible for `key` under this geometry.
-  virtual StatusOr<uint64_t> ResponsibleNode(uint64_t key) const = 0;
+  [[nodiscard]] virtual StatusOr<uint64_t> ResponsibleNode(uint64_t key) const = 0;
 
   /// The live node numerically after/before `node_id` (wrapping). Both
   /// geometries expose numeric neighbours: Chord's successor pointers,
   /// Kademlia's deepest k-bucket.
-  StatusOr<uint64_t> SuccessorOfNode(uint64_t node_id) const;
-  StatusOr<uint64_t> PredecessorOfNode(uint64_t node_id) const;
+  [[nodiscard]] StatusOr<uint64_t> SuccessorOfNode(uint64_t node_id) const;
+  [[nodiscard]] StatusOr<uint64_t> PredecessorOfNode(uint64_t node_id) const;
 
   /// Number of live nodes with ID in the ring range [lo, hi) (§4.1).
   /// O(log N): two binary searches over the ring index.
@@ -133,21 +139,21 @@ class DhtNetwork {
 
   /// Routes from `from_node` to the responsible node of `key`; charges
   /// hops and `payload_bytes` per hop.
-  StatusOr<LookupResult> Lookup(uint64_t from_node, uint64_t key,
+  [[nodiscard]] StatusOr<LookupResult> Lookup(uint64_t from_node, uint64_t key,
                                 size_t payload_bytes = 0);
 
   /// Charges a direct one-hop message between two live nodes.
-  Status DirectHop(uint64_t from_node, uint64_t to_node,
+  [[nodiscard]] Status DirectHop(uint64_t from_node, uint64_t to_node,
                    size_t payload_bytes = 0);
 
   /// Full insert primitive: Lookup(dht_key) then store at the
   /// responsible node. Returns the storing node.
-  StatusOr<uint64_t> Put(uint64_t from_node, uint64_t dht_key,
+  [[nodiscard]] StatusOr<uint64_t> Put(uint64_t from_node, uint64_t dht_key,
                          StoreKey app_key, std::string value,
                          uint64_t ttl_ticks);
 
   /// Full lookup primitive; NotFound if the key has no live record.
-  StatusOr<std::string> GetValue(uint64_t from_node, uint64_t dht_key,
+  [[nodiscard]] StatusOr<std::string> GetValue(uint64_t from_node, uint64_t dht_key,
                                  const StoreKey& app_key);
 
   // ---- Direct state access (simulator-level, uncharged) ------------------
@@ -203,7 +209,7 @@ class DhtNetwork {
   /// Always available in every build type; O(total records + N log N +
   /// cached routing entries). Returns OK or Internal naming the first
   /// violated invariant.
-  Status AuditFull() const;
+  [[nodiscard]] Status AuditFull() const;
 
   /// Debug-only wrapper: CHECKs AuditFull() (via DCHECK_OK, compiled out
   /// under NDEBUG). Call from tests and audit-enabled experiment loops.
@@ -235,7 +241,7 @@ class DhtNetwork {
   /// Geometry hook of AuditFull(): re-derives any cached routing state
   /// (finger tables, bucket caches) brute-force and compares it against
   /// the cache. The default has no derived state and returns OK.
-  virtual Status AuditDerivedState() const { return Status::OK(); }
+  [[nodiscard]] virtual Status AuditDerivedState() const { return Status::OK(); }
 
   /// Sorted vector of all live node IDs (the ring index).
   const std::vector<uint64_t>& ring() const { return ring_; }

@@ -247,7 +247,7 @@ class NodeStore {
   /// so MinExpiry() is a sound lower bound). O(records + heap); intended
   /// for audits and tests, not the hot path. Returns OK or Internal with
   /// a description of the first violation.
-  Status AuditFull(uint64_t now) const;
+  [[nodiscard]] Status AuditFull(uint64_t now) const;
 
   /// The network watermark this store pushes expiries into (nullptr when
   /// unbound). Exposed for the network-level audit.

@@ -33,14 +33,14 @@ struct VarBucket {
 /// MaxDiff(V, F): places the num_buckets - 1 boundaries at the largest
 /// adjacent frequency differences. O(V log V). Requires
 /// 1 <= num_buckets <= frequencies.size().
-StatusOr<std::vector<VarBucket>> BuildMaxDiffHistogram(
+[[nodiscard]] StatusOr<std::vector<VarBucket>> BuildMaxDiffHistogram(
     const std::vector<double>& frequencies, int num_buckets);
 
 /// V-optimal: minimizes the total within-bucket frequency variance
 /// (sum of squared errors against the bucket mean) by dynamic
 /// programming. O(V^2 * B) time, O(V * B) space — intended for the
 /// re-bucketization of a few hundred base cells, not raw domains.
-StatusOr<std::vector<VarBucket>> BuildVOptimalHistogram(
+[[nodiscard]] StatusOr<std::vector<VarBucket>> BuildVOptimalHistogram(
     const std::vector<double>& frequencies, int num_buckets);
 
 /// Sum of squared within-bucket deviations — the objective v-optimal
@@ -63,7 +63,7 @@ struct CompressedHistogram {
   double TotalCount() const;
 };
 
-StatusOr<CompressedHistogram> BuildCompressedHistogram(
+[[nodiscard]] StatusOr<CompressedHistogram> BuildCompressedHistogram(
     const std::vector<double>& frequencies, int num_buckets);
 
 /// Range estimate from a compressed histogram: singletons are exact, the
@@ -88,7 +88,7 @@ struct AdvancedHistogramResult {
   DhsCostReport cost;               // the (shared) DHS sweep cost
 };
 
-StatusOr<AdvancedHistogramResult> BuildAdvancedFromDhs(
+[[nodiscard]] StatusOr<AdvancedHistogramResult> BuildAdvancedFromDhs(
     DhsHistogram& base_histogram, AdvancedHistogramKind kind,
     int num_buckets, uint64_t origin_node, Rng& rng);
 

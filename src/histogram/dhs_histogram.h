@@ -37,7 +37,7 @@ class DhsHistogram {
   /// Records a batch of locally stored tuples from `origin_node`. Each
   /// item is (tuple_hash, attribute_value); tuples are grouped by bucket
   /// and bulk-inserted (§3.2).
-  Status InsertBatch(
+  [[nodiscard]] Status InsertBatch(
       uint64_t origin_node,
       const std::vector<std::pair<uint64_t, int64_t>>& items, Rng& rng);
 
@@ -50,12 +50,12 @@ class DhsHistogram {
 
   /// Reconstructs all buckets from `origin_node` with one multi-metric
   /// DHS count.
-  StatusOr<Reconstruction> Reconstruct(uint64_t origin_node, Rng& rng);
+  [[nodiscard]] StatusOr<Reconstruction> Reconstruct(uint64_t origin_node, Rng& rng);
 
   /// Reconstructs only the buckets overlapping [lo, hi] (the paper's
   /// note: query processing may need only the buckets a predicate
   /// touches). Non-requested buckets are returned as 0.
-  StatusOr<Reconstruction> ReconstructRange(uint64_t origin_node, int64_t lo,
+  [[nodiscard]] StatusOr<Reconstruction> ReconstructRange(uint64_t origin_node, int64_t lo,
                                             int64_t hi, Rng& rng);
 
  private:

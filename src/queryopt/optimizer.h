@@ -41,27 +41,27 @@ class JoinOptimizer {
   explicit JoinOptimizer(const JoinQuery* query);
 
   /// Evaluates one explicit order (size must equal NumRelations()).
-  StatusOr<JoinPlan> Evaluate(const std::vector<int>& order) const;
+  [[nodiscard]] StatusOr<JoinPlan> Evaluate(const std::vector<int>& order) const;
 
   /// Cheapest left-deep plan (exhaustive enumeration).
-  StatusOr<JoinPlan> Best() const;
+  [[nodiscard]] StatusOr<JoinPlan> Best() const;
 
   /// Most expensive left-deep plan — the "pessimal optimizer" bound.
-  StatusOr<JoinPlan> Worst() const;
+  [[nodiscard]] StatusOr<JoinPlan> Worst() const;
 
   /// Cheapest plan over ALL join trees (bushy included), by dynamic
   /// programming over relation subsets (Selinger-style, exact).
   /// O(3^n) time; intended for n <= ~14 relations. Never returns a plan
   /// costlier than Best().
-  StatusOr<BushyPlan> BestBushy() const;
+  [[nodiscard]] StatusOr<BushyPlan> BestBushy() const;
 
   /// Average transfer over all left-deep orders — a model of an
   /// optimizer-less engine that picks an arbitrary order.
-  StatusOr<double> AverageTransfer() const;
+  [[nodiscard]] StatusOr<double> AverageTransfer() const;
 
  private:
   template <typename Select>
-  StatusOr<JoinPlan> Extremal(Select&& better) const;
+  [[nodiscard]] StatusOr<JoinPlan> Extremal(Select&& better) const;
 
   const JoinQuery* query_;
 };

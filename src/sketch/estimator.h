@@ -35,7 +35,7 @@ class CardinalityEstimator {
 
   /// Set-union merge: afterwards this sketch estimates |A ∪ B|. Fails with
   /// InvalidArgument on parameter mismatch (m or bitmap length).
-  virtual Status Merge(const CardinalityEstimator& other) = 0;
+  [[nodiscard]] virtual Status Merge(const CardinalityEstimator& other) = 0;
 
   /// Resets to the empty-set state.
   virtual void Clear() = 0;

@@ -38,7 +38,7 @@ class HllSketch : public CardinalityEstimator {
   double Estimate() const override;
   int num_bitmaps() const override { return num_bitmaps_; }
   size_t SerializedBytes() const override;
-  Status Merge(const CardinalityEstimator& other) override;
+  [[nodiscard]] Status Merge(const CardinalityEstimator& other) override;
   void Clear() override;
 
   int bits() const { return bits_; }

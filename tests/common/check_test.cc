@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/status.h"
 
@@ -127,6 +129,34 @@ TEST_F(CheckTest, HandlerRestoreWorks) {
   // TearDown restores the previous handler; verify Set returns ours.
   CheckFailureHandler current = SetCheckFailureHandler(&ThrowingHandler);
   EXPECT_EQ(current, &ThrowingHandler);
+}
+
+TEST_F(CheckTest, HandlerInstallFromTwoThreadsIsRaceFree) {
+  // The handler slot is a single atomic pointer: two threads installing
+  // the same handler concurrently — while both also trip CHECKs — must
+  // neither tear the slot nor lose a failure. Every Set call returns
+  // some previously installed handler (here always &ThrowingHandler,
+  // since both threads install it and SetUp already did).
+  std::atomic<int> fired{0};
+  std::atomic<bool> bad_previous{false};
+  auto contender = [&fired, &bad_previous] {
+    for (int i = 0; i < 500; ++i) {
+      CheckFailureHandler prev = SetCheckFailureHandler(&ThrowingHandler);
+      if (prev != &ThrowingHandler) bad_previous.store(true);
+      try {
+        CHECK(false) << "install race probe " << i;
+      } catch (const CheckFired&) {
+        fired.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::thread a(contender);
+  std::thread b(contender);
+  a.join();
+  b.join();
+  EXPECT_FALSE(bad_previous.load());
+  EXPECT_EQ(fired.load(), 2 * 500);
+  // TearDown restores the fixture's saved handler.
 }
 
 }  // namespace

@@ -36,7 +36,8 @@ std::vector<std::string> FuzzSeedCorpus();
 #ifndef DHS_FUZZ_NO_MAIN
 int main() {
   uint64_t iters = 25000;
-  if (const char* env = std::getenv("DHS_FUZZ_ITERS")) {
+  // Single-threaded driver main; read before anything else runs.
+  if (const char* env = std::getenv("DHS_FUZZ_ITERS")) {  // NOLINT(concurrency-mt-unsafe)
     iters = std::strtoull(env, nullptr, 10);
     if (iters == 0) iters = 1;
   }

@@ -24,8 +24,18 @@
 // Any divergence aborts with a CHECK failure naming the step and the
 // disagreeing values. Exit code 0 means N steps of zero divergence.
 //
+// --schedules=K runs K independently seeded schedules (seed, seed+1,
+// ...), spread over --jobs worker threads (default: hardware
+// concurrency) via RunTrials. Each schedule owns its whole world —
+// network, reference model, client — so schedules share nothing;
+// per-schedule reports are collected and printed serially in seed
+// order, never interleaved. A divergence still aborts the process with
+// the offending step and seed in the CHECK message (the failure
+// handler is an atomic slot, so concurrent failures are race-free).
+//
 // Usage: audit_sim [--geometry=chord|kademlia|both] [--steps=10000]
 //                  [--seed=1] [--estimator=sll|pcsa|hll]
+//                  [--schedules=1] [--jobs=0 (hardware)]
 
 #include <cinttypes>
 #include <cstdio>
@@ -38,6 +48,7 @@
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "dhs/client.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
@@ -223,6 +234,8 @@ struct SimOptions {
   int steps = 10000;
   uint64_t seed = 1;
   DhsEstimator estimator = DhsEstimator::kSuperLogLog;
+  int schedules = 1;  // independently seeded runs (seed, seed+1, ...)
+  int jobs = 0;       // worker threads; 0 = hardware concurrency
 };
 
 class DifferentialSim {
@@ -234,7 +247,9 @@ class DifferentialSim {
         rng_(options.seed),
         item_hasher_(options.seed ^ 0x9e3779b97f4a7c15ull) {}
 
-  void Run() {
+  /// Runs the schedule to completion and returns the one-line success
+  /// report (divergences abort via CHECK before this returns).
+  std::string Run() {
     Bootstrap();
     for (step_ = 0; step_ < options_.steps; ++step_) {
       const uint64_t roll = rng_.UniformU64(100);
@@ -261,10 +276,14 @@ class DifferentialSim {
     CheckStoresAgainstReference();
     CheckCountsAgainstGlobalScan();
     RunFullAudit();
-    std::printf("audit_sim: %s/%s: %d steps, %" PRIu64
-                " ops, 0 divergences\n",
-                net_->GeometryName(), DhsEstimatorName(options_.estimator),
-                options_.steps, ops_);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "audit_sim: %s/%s: seed %" PRIu64 ": %d steps, %" PRIu64
+                  " ops, 0 divergences\n",
+                  net_->GeometryName(),
+                  DhsEstimatorName(options_.estimator), options_.seed,
+                  options_.steps, ops_);
+    return line;
   }
 
  private:
@@ -630,22 +649,47 @@ int Main(int argc, char** argv) {
       options.estimator = DhsEstimator::kPcsa;
     } else if (arg == "--estimator=hll") {
       options.estimator = DhsEstimator::kHyperLogLog;
+    } else if (arg.rfind("--schedules=", 0) == 0) {
+      options.schedules = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::atoi(arg.c_str() + 7);
     } else {
       std::fprintf(stderr,
                    "usage: audit_sim [--geometry=chord|kademlia|both] "
-                   "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll]\n");
+                   "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll] "
+                   "[--schedules=K] [--jobs=J]\n");
       return 2;
     }
   }
+  if (options.schedules < 1) options.schedules = 1;
+
+  std::vector<Geometry> geometries;
   if (both) {
-    for (Geometry g : {Geometry::kChord, Geometry::kKademlia}) {
-      SimOptions o = options;
-      o.geometry = g;
-      DifferentialSim(o).Run();
-    }
-    return 0;
+    geometries = {Geometry::kChord, Geometry::kKademlia};
+  } else {
+    geometries = {options.geometry};
   }
-  DifferentialSim(options).Run();
+
+  // Each schedule is one fully independent world per geometry; RunTrials
+  // spreads schedules over the worker pool and returns their reports in
+  // seed order (the per-unit rng is unused — schedule seeds stay the
+  // documented, reproducible `seed + k`).
+  const int jobs = options.jobs > 0 ? options.jobs : DefaultTrialThreads();
+  const auto reports = RunTrials(
+      options.schedules, options.seed, jobs,
+      [&](int schedule, Rng& /*rng*/) -> std::string {
+        std::string report;
+        for (Geometry g : geometries) {
+          SimOptions o = options;
+          o.geometry = g;
+          o.seed = options.seed + static_cast<uint64_t>(schedule);
+          report += DifferentialSim(o).Run();
+        }
+        return report;
+      });
+  for (const std::string& report : reports) {
+    std::fputs(report.c_str(), stdout);
+  }
   return 0;
 }
 

@@ -101,7 +101,7 @@ void CmdNetwork(SimState& state, std::istringstream& args) {
     state.network = std::make_unique<KademliaNetwork>(config);
   }
   while (state.network->NumNodes() < static_cast<size_t>(nodes)) {
-    (void)state.network->AddNode(state.rng.Next());
+    (void)state.network->AddNode(state.rng.Next());  // duplicate ID: retry
   }
   state.client.reset();
   std::printf("%s overlay with %zu nodes\n",
@@ -169,12 +169,15 @@ void CmdInsert(SimState& state, std::istringstream& args) {
   for (uint64_t i = 0; i < n; ++i) {
     batch.push_back(state.item_hasher.HashU64(metric ^ (offset + i)));
     if (batch.size() == 1000) {
+      // Interactive best-effort insert: all origins are live, so the
+      // only failure mode is an empty network, excluded by RequireClient.
       (void)state.client->InsertBatch(
           state.network->RandomNode(state.rng), metric, batch, state.rng);
       batch.clear();
     }
   }
   if (!batch.empty()) {
+    // Same justification as the in-loop flush above.
     (void)state.client->InsertBatch(state.network->RandomNode(state.rng),
                                     metric, batch, state.rng);
   }
