@@ -64,9 +64,11 @@ int main() {
       distinct_titles.insert(title);
       local_hashes.push_back(hasher.Hash(title));
     }
-    auto status = client.InsertBatch(node_ids[i], kMetric, local_hashes, rng);
-    if (!status.ok()) {
-      std::fprintf(stderr, "insert failed: %s\n", status.ToString().c_str());
+    auto inserted =
+        client.InsertBatch(node_ids[i], kMetric, local_hashes, rng);
+    if (!inserted.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n",
+                   inserted.status().ToString().c_str());
       return 1;
     }
   }

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

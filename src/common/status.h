@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kUnavailable,   // e.g. all replicas of a DHT key are on failed nodes
+  kDeadlineExceeded,  // a message timed out in flight (transient; retryable)
   kInternal,
 };
 
@@ -55,6 +56,9 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -72,6 +76,9 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   /// "OK" or "<Code>: <message>".

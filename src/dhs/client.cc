@@ -7,6 +7,7 @@
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "dht/fault.h"
 #include "dhs/lim.h"
 #include "sketch/estimator.h"
 #include "sketch/hyperloglog.h"
@@ -41,6 +42,56 @@ DhsPlacement DhsClient::PlaceItem(uint64_t item_hash) const {
   return placement;
 }
 
+// Extra ReplicaCandidates requested beyond the copies still needed, so
+// a crashed or unreachable candidate can be skipped without running the
+// list dry.
+constexpr int kReplicaSlack = 2;
+
+StatusOr<LookupResult> DhsClient::LookupWithRetry(uint64_t origin_node,
+                                                  uint64_t key,
+                                                  size_t payload_bytes,
+                                                  DhsCostReport* cost) {
+  for (int attempt = 0;; ++attempt) {
+    auto lookup = network_->Lookup(origin_node, key, payload_bytes);
+    if (lookup.ok()) {
+      cost->dht_lookups += 1;
+      cost->hops += lookup->hops;
+      cost->bytes += payload_bytes * static_cast<size_t>(lookup->hops);
+      return lookup;
+    }
+    if (!IsTransientFault(lookup.status())) return lookup.status();
+    cost->dht_lookups += 1;  // issued and charged, then lost in flight
+    if (attempt + 1 >= config_.retry_attempts) return lookup.status();
+    cost->retries += 1;
+    if (config_.retry_backoff_ticks > 0) {
+      network_->AdvanceClock(config_.retry_backoff_ticks << attempt);
+    }
+  }
+}
+
+Status DhsClient::DirectHopWithRetry(uint64_t from_node, uint64_t to_node,
+                                     size_t payload_bytes,
+                                     DhsCostReport* cost) {
+  for (int attempt = 0;; ++attempt) {
+    Status hop = network_->DirectHop(from_node, to_node, payload_bytes);
+    if (hop.ok()) {
+      cost->direct_probes += 1;
+      if (from_node != to_node) {
+        cost->hops += 1;
+        cost->bytes += payload_bytes;
+      }
+      return hop;
+    }
+    if (!IsTransientFault(hop)) return hop;
+    cost->direct_probes += 1;  // issued and charged, then lost in flight
+    if (attempt + 1 >= config_.retry_attempts) return hop;
+    cost->retries += 1;
+    if (config_.retry_backoff_ticks > 0) {
+      network_->AdvanceClock(config_.retry_backoff_ticks << attempt);
+    }
+  }
+}
+
 Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
                              int bit, const std::vector<int>& vector_ids,
                              Rng& rng, DhsCostReport* cost) {
@@ -49,37 +100,51 @@ Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
 
   const uint64_t target_key = mapping_.RandomIdIn(*interval, rng);
   const size_t payload = config_.TupleBytes() * vector_ids.size();
-  auto lookup = network_->Lookup(origin_node, target_key, payload);
+  cost->replicas_requested += config_.replication;
+  auto lookup = LookupWithRetry(origin_node, target_key, payload, cost);
   if (!lookup.ok()) return lookup.status();
-  cost->dht_lookups += 1;
-  cost->hops += lookup->hops;
-  cost->bytes += payload * static_cast<size_t>(lookup->hops);
 
   const uint64_t ttl = config_.ttl_ticks;
   const uint64_t expires =
       ttl == kNoExpiry ? kNoExpiry : network_->now() + ttl;
 
-  uint64_t holder = lookup->node;
-  for (int replica = 0; replica < config_.replication; ++replica) {
-    if (replica > 0) {
-      // §3.5: replicate the set bit to ring successors of the holder.
-      auto succ = network_->SuccessorOfNode(holder);
-      if (!succ.ok() || succ.value() == lookup->node) break;  // wrapped
-      Status hop = network_->DirectHop(holder, succ.value(), payload);
-      if (!hop.ok()) return hop;
-      cost->hops += 1;
-      cost->bytes += payload;
-      holder = succ.value();
-    }
+  const auto store_at = [&](uint64_t holder) {
     NodeStore* store = network_->StoreAt(holder);
     NodeLoad* load = network_->LoadAt(holder);
     CHECK(store != nullptr && load != nullptr)
-        << "replica holder " << holder << " vanished mid-insert";
+        << "holder " << holder << " vanished mid-insert";
     load->stores += 1;
     for (int vector_id : vector_ids) {
       store->Put(target_key, MakeDhsKey(metric_id, bit, vector_id),
                  std::string(), expires);
     }
+    cost->replicas_written += 1;
+  };
+
+  // The primary write is durable once the lookup reached the
+  // responsible node; replica failures below degrade, never error.
+  const uint64_t primary = lookup->node;
+  store_at(primary);
+
+  // §3.5 replication, geometry-aware: the extra copies go to the nodes
+  // the counting walk probes after the primary (ReplicaCandidates
+  // shares its ordering with ProbeCandidates), falling through
+  // candidates that cannot be reached.
+  int extra_needed = config_.replication - 1;
+  if (extra_needed <= 0) return Status::OK();
+  const std::vector<uint64_t> replicas = network_->ReplicaCandidates(
+      *interval, target_key, primary, extra_needed + kReplicaSlack);
+  for (uint64_t replica : replicas) {
+    Status hop = DirectHopWithRetry(primary, replica, payload, cost);
+    if (!hop.ok()) {
+      if (hop.IsInvalidArgument() || IsTransientFault(hop)) {
+        cost->failed_probes += 1;
+        continue;
+      }
+      return hop;
+    }
+    store_at(replica);
+    if (--extra_needed == 0) break;
   }
   return Status::OK();
 }
@@ -90,23 +155,28 @@ void DhsClient::MaybeAudit() const {
   CHECK_OK(AuditFull()) << "after a DHS operation";
 }
 
-Status DhsClient::Insert(uint64_t origin_node, uint64_t metric_id,
-                         uint64_t item_hash, Rng& rng) {
+StatusOr<DhsCostReport> DhsClient::Insert(uint64_t origin_node,
+                                          uint64_t metric_id,
+                                          uint64_t item_hash, Rng& rng) {
   const DhsPlacement placement = PlaceItem(item_hash);
+  DhsCostReport cost;
   if (placement.rho < config_.shift_bits) {
     // Bit-shift rule: the lowest shift_bits positions are assumed set.
-    return Status::OK();
+    return cost;
   }
-  DhsCostReport cost;
   Status s = StoreTuple(origin_node, metric_id, placement.rho,
                         {placement.vector_id}, rng, &cost);
   MaybeAudit();
-  return s;
+  if (!s.ok()) return s;
+  return cost;
 }
 
-Status DhsClient::InsertBatch(uint64_t origin_node, uint64_t metric_id,
-                              const std::vector<uint64_t>& item_hashes,
-                              Rng& rng) {
+StatusOr<DhsCostReport> DhsClient::InsertBatch(
+    uint64_t origin_node, uint64_t metric_id,
+    const std::vector<uint64_t>& item_hashes, Rng& rng) {
+  if (!network_->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
   // §3.2 bulk insertion: group by bit position r; one message per r
   // carries all (deduplicated) vector updates for that position.
   std::map<int, std::set<int>> by_bit;
@@ -116,14 +186,24 @@ Status DhsClient::InsertBatch(uint64_t origin_node, uint64_t metric_id,
     by_bit[placement.rho].insert(placement.vector_id);
   }
   DhsCostReport cost;
+  Status first_failure = Status::OK();
   for (const auto& [bit, vectors] : by_bit) {
     std::vector<int> vector_ids(vectors.begin(), vectors.end());
     Status s = StoreTuple(origin_node, metric_id, bit, vector_ids, rng,
                           &cost);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // A failed primary write degrades this group only; the remaining
+      // groups still store (no silent drop of the batch's tail).
+      cost.bit_groups_failed += 1;
+      if (first_failure.ok()) first_failure = s;
+    }
   }
   MaybeAudit();
-  return Status::OK();
+  if (!first_failure.ok() &&
+      cost.bit_groups_failed == static_cast<int>(by_bit.size())) {
+    return first_failure;  // nothing was stored
+  }
+  return cost;
 }
 
 std::vector<int> DhsClient::ProbeNodeForMetric(uint64_t node,
@@ -171,7 +251,8 @@ int DhsClient::LimForBit(int bit) const {
 template <typename VisitFn, typename DoneFn>
 Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
                                 DhsCostReport* cost, VisitFn&& visit,
-                                DoneFn&& done) {
+                                DoneFn&& done, bool* abandoned) {
+  *abandoned = false;
   auto interval_or = mapping_.IntervalForBit(bit);
   if (!interval_or.ok()) return interval_or.status();
   const IdInterval interval = *interval_or;
@@ -180,11 +261,17 @@ Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
   // Initial random probe into the interval, routed via the DHT.
   const uint64_t target_key = mapping_.RandomIdIn(interval, rng);
   const size_t request = config_.ProbeRequestBytes();
-  auto lookup = network_->Lookup(origin_node, target_key, request);
-  if (!lookup.ok()) return lookup.status();
-  cost->dht_lookups += 1;
-  cost->hops += lookup->hops;
-  cost->bytes += request * static_cast<size_t>(lookup->hops);
+  auto lookup = LookupWithRetry(origin_node, target_key, request, cost);
+  if (!lookup.ok()) {
+    if (IsTransientFault(lookup.status())) {
+      // The interval could not be reached through all retry attempts:
+      // abandon it and let the count continue degraded (reported via
+      // gave_up / bitmaps_unresolved, never as silent bias).
+      *abandoned = true;
+      return Status::OK();
+    }
+    return lookup.status();
+  }
 
   // Probe the responsible node, then walk the overlay's candidate
   // holders (Alg. 1 lines 13-17; the candidate order is geometry-
@@ -198,11 +285,16 @@ Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
       network_->ProbeCandidates(interval, target_key, start, lim - 1);
   uint64_t current = start;
   for (uint64_t next : candidates) {
-    Status hop = network_->DirectHop(current, next, request);
-    if (!hop.ok()) return hop;
-    cost->direct_probes += 1;
-    cost->hops += 1;
-    cost->bytes += request;
+    Status hop = DirectHopWithRetry(current, next, request, cost);
+    if (!hop.ok()) {
+      if (hop.IsInvalidArgument() || IsTransientFault(hop)) {
+        // Unreachable candidate (crashed, or lost through all
+        // retries): skip it and walk on from the last node reached.
+        cost->failed_probes += 1;
+        continue;
+      }
+      return hop;
+    }
     cost->nodes_visited += 1;
     current = next;
     visit(current);
@@ -218,6 +310,8 @@ StatusOr<DhsCountResult> DhsClient::Count(uint64_t origin_node,
   DhsCountResult result;
   result.estimate = many->estimates[0];
   result.observables = std::move(many->observables[0]);
+  result.gave_up = many->gave_up;
+  result.bitmaps_unresolved = many->bitmaps_unresolved;
   result.cost = many->cost;
   return result;
 }
@@ -253,6 +347,7 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
   // is its maximal rho (the sLL observable).
   for (int r = mapping_.MaxBit();
        r >= mapping_.MinBit() && total_unresolved > 0; --r) {
+    bool abandoned = false;
     Status s = ProbeInterval(
         origin_node, r, rng, &result.cost,
         [&](uint64_t node) {
@@ -268,8 +363,17 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
             }
           }
         },
-        [&] { return total_unresolved == 0; });
+        [&] { return total_unresolved == 0; },
+        &abandoned);
     if (!s.ok()) return s;
+    if (abandoned) {
+      // Every still-unresolved bitmap could have held its max rho at r;
+      // lower intervals may still resolve it (slightly low), so the
+      // count completes — degraded, not aborted.
+      result.gave_up = true;
+      result.bitmaps_unresolved = std::max(
+          result.bitmaps_unresolved, static_cast<int>(total_unresolved));
+    }
   }
 
   result.estimates.reserve(num_metrics);
@@ -313,6 +417,7 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManyPcsa(
     size_t open_observed = 0;
     size_t open_now = total_open;
 
+    bool abandoned = false;
     Status s = ProbeInterval(
         origin_node, r, rng, &result.cost,
         [&](uint64_t node) {
@@ -328,8 +433,18 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManyPcsa(
             }
           }
         },
-        [&] { return open_observed == open_now; });
+        [&] { return open_observed == open_now; },
+        &abandoned);
     if (!s.ok()) return s;
+    if (abandoned) {
+      // No information at r: leaving the open bitmaps open (they close
+      // at a later position, or saturate) biases mildly high, instead
+      // of collapsing every open observable to r.
+      result.gave_up = true;
+      result.bitmaps_unresolved =
+          std::max(result.bitmaps_unresolved, static_cast<int>(total_open));
+      continue;
+    }
 
     // Open bitmaps with no set bit found at r: M = r.
     for (size_t mi = 0; mi < num_metrics; ++mi) {

@@ -20,13 +20,23 @@
 
 namespace dhs {
 
-/// Cost of one DHS operation, in the paper's metrics.
+/// Cost of one DHS operation, in the paper's metrics, plus the
+/// fault-tolerance accounting (retries issued, probes abandoned,
+/// replication achieved). Every *issued* message attempt — including
+/// ones a FaultPlan then fails — counts toward dht_lookups /
+/// direct_probes, so `network stats messages delta == dht_lookups +
+/// direct_probes` holds with or without faults (audit_sim pins this).
 struct DhsCostReport {
   int nodes_visited = 0;   // distinct nodes probed for DHS state
   int hops = 0;            // routing hops + one-hop retries
   uint64_t bytes = 0;      // request + response payload bytes
   int dht_lookups = 0;     // full O(log N) lookups issued
-  int direct_probes = 0;   // one-hop successor/predecessor retries
+  int direct_probes = 0;   // one-hop candidate/replica messages issued
+  int retries = 0;         // re-issued messages after a transient failure
+  int failed_probes = 0;   // candidate holders skipped after retries ran out
+  int replicas_requested = 0;  // copies the replication config asked for
+  int replicas_written = 0;    // copies durably stored (>= 1 per stored bit)
+  int bit_groups_failed = 0;   // insert bit groups whose primary write failed
 
   DhsCostReport& operator+=(const DhsCostReport& o) {
     nodes_visited += o.nodes_visited;
@@ -34,17 +44,34 @@ struct DhsCostReport {
     bytes += o.bytes;
     dht_lookups += o.dht_lookups;
     direct_probes += o.direct_probes;
+    retries += o.retries;
+    failed_probes += o.failed_probes;
+    replicas_requested += o.replicas_requested;
+    replicas_written += o.replicas_written;
+    bit_groups_failed += o.bit_groups_failed;
     return *this;
   }
 };
 
-/// Result of a distributed count.
+/// Result of a distributed count. Counting degrades gracefully under
+/// faults: an interval whose probes cannot be completed is skipped
+/// rather than aborting the count, and the degradation is reported
+/// instead of silently biasing the estimate.
 struct DhsCountResult {
   double estimate = 0.0;
   /// Reconstructed per-bitmap observables M^<i> (semantics depend on the
   /// estimator: leftmost zero for PCSA, max rho for sLL with -1 = none
   /// found).
   std::vector<int> observables;
+  /// True when at least one ID-space interval had to be abandoned
+  /// (its routed lookup failed through all retry attempts); the
+  /// estimate then reflects partial information.
+  bool gave_up = false;
+  /// Upper bound on the number of bitmap coordinates whose observable
+  /// may have been affected by abandoned intervals (the count of
+  /// still-unresolved coordinates at the first abandoned interval).
+  /// 0 when gave_up is false.
+  int bitmaps_unresolved = 0;
   DhsCostReport cost;
 };
 
@@ -68,16 +95,26 @@ class DhsClient {
   /// of the hash: vector = lsb_k(h) mod m, rho = rho(lsb_k(h) div m).
   DhsPlacement PlaceItem(uint64_t item_hash) const;
 
-  /// Records one item under `metric_id`, starting from `origin_node`.
+  /// Records one item under `metric_id`, starting from `origin_node`,
+  /// and reports the operation's cost (including achieved replication).
   /// Duplicate-insensitive: re-inserting refreshes the soft-state TTL.
-  [[nodiscard]] Status Insert(uint64_t origin_node, uint64_t metric_id, uint64_t item_hash,
-                Rng& rng);
+  /// The primary write is durable-or-error: a failed replica copy never
+  /// fails the insert (it shows up as replicas_written <
+  /// replicas_requested), but a primary write that fails through all
+  /// retries returns the transient error.
+  [[nodiscard]] StatusOr<DhsCostReport> Insert(uint64_t origin_node,
+                                               uint64_t metric_id,
+                                               uint64_t item_hash, Rng& rng);
 
   /// Bulk insertion (§3.2): groups items by bit position and contacts one
   /// random target per bit, so a node records any number of items with at
-  /// most k + 1 lookups per round.
-  [[nodiscard]] Status InsertBatch(uint64_t origin_node, uint64_t metric_id,
-                     const std::vector<uint64_t>& item_hashes, Rng& rng);
+  /// most k + 1 lookups per round. A bit group whose primary write fails
+  /// through all retries is recorded in bit_groups_failed and the batch
+  /// *continues with the remaining groups*; the error status is returned
+  /// only when every group failed (nothing was stored).
+  [[nodiscard]] StatusOr<DhsCostReport> InsertBatch(
+      uint64_t origin_node, uint64_t metric_id,
+      const std::vector<uint64_t>& item_hashes, Rng& rng);
 
   /// Distributed count of `metric_id` from `origin_node` (Alg. 1).
   [[nodiscard]] StatusOr<DhsCountResult> Count(uint64_t origin_node, uint64_t metric_id,
@@ -89,6 +126,8 @@ class DhsClient {
   struct MultiCountResult {
     std::vector<double> estimates;             // parallel to metric_ids
     std::vector<std::vector<int>> observables;  // parallel to metric_ids
+    bool gave_up = false;          // see DhsCountResult
+    int bitmaps_unresolved = 0;    // over all metrics of the sweep
     DhsCostReport cost;                        // shared sweep cost
   };
   [[nodiscard]] StatusOr<MultiCountResult> CountMany(uint64_t origin_node,
@@ -110,21 +149,49 @@ class DhsClient {
   /// config_.audit is set; CHECK-fatal on any violation.
   void MaybeAudit() const;
 
+  /// Routed lookup with the configured retry policy: re-issues the
+  /// message on transient failures (Unavailable / DeadlineExceeded),
+  /// sleeping retry_backoff_ticks << attempt between attempts. Every
+  /// issued attempt is charged to cost (dht_lookups; hops/bytes only on
+  /// success — a faulted message does no observable work); re-issues
+  /// count as retries. Non-transient errors are terminal and uncharged
+  /// (the network rejected the message without sending it).
+  [[nodiscard]] StatusOr<LookupResult> LookupWithRetry(uint64_t origin_node,
+                                                       uint64_t key,
+                                                       size_t payload_bytes,
+                                                       DhsCostReport* cost);
+
+  /// One-hop message with the same retry policy and accounting
+  /// (direct_probes instead of dht_lookups).
+  [[nodiscard]] Status DirectHopWithRetry(uint64_t from_node,
+                                          uint64_t to_node,
+                                          size_t payload_bytes,
+                                          DhsCostReport* cost);
+
   /// Stores one tuple at the node responsible for a random ID in bit r's
-  /// interval, plus `replication - 1` successor copies. The target key is
-  /// freshly randomized per call (load balancing).
+  /// interval, plus `replication - 1` copies on the overlay's
+  /// ReplicaCandidates. The target key is freshly randomized per call
+  /// (load balancing). The primary write is durable-or-error; replica
+  /// copies that fail through retries degrade replicas_written instead
+  /// of failing the store.
   [[nodiscard]] Status StoreTuple(uint64_t origin_node, uint64_t metric_id, int bit,
                     const std::vector<int>& vector_ids, Rng& rng,
                     DhsCostReport* cost);
 
   /// Probes the interval of bit r: up to config_.lim nodes starting from
-  /// a random in-interval target, walking successors then predecessors
+  /// a random in-interval target, walking the overlay's candidate order
   /// (Alg. 1 lines 3-17). Calls visit(node_id) for each probed node and
   /// lets the caller decide when the interval is exhausted via
-  /// `done()`. Returns the probe cost.
+  /// `done()`. A candidate that cannot be reached (dead, or transient
+  /// failures through all retries) is skipped (failed_probes) and the
+  /// walk continues from the last reached node; when the *initial*
+  /// routed lookup fails through all retries the interval is abandoned:
+  /// `*abandoned` is set and OK is returned so the count can continue
+  /// degraded.
   template <typename VisitFn, typename DoneFn>
   [[nodiscard]] Status ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
-                       DhsCostReport* cost, VisitFn&& visit, DoneFn&& done);
+                       DhsCostReport* cost, VisitFn&& visit, DoneFn&& done,
+                       bool* abandoned);
 
   /// Reads the vectors present at `node` for (metric, bit) and charges
   /// the response bytes. Returns the vector ids found.

@@ -42,6 +42,9 @@ Status DhsConfig::Validate(const IdSpace& space) const {
   if (replication < 1) {
     return Status::InvalidArgument("replication degree must be >= 1");
   }
+  if (retry_attempts < 1) {
+    return Status::InvalidArgument("retry_attempts must be >= 1");
+  }
   if (shift_bits < 0 || shift_bits >= RhoBits()) {
     return Status::InvalidArgument("shift_bits must be in [0, k - log2 m)");
   }

@@ -60,8 +60,24 @@ struct DhsConfig {
   int max_lim = 200;
 
   /// Replication degree: total copies of each DHS tuple (1 = only the
-  /// responsible node). Extra copies go to ring successors (§3.5).
+  /// responsible node). Extra copies go to the overlay's
+  /// ReplicaCandidates — ring successors on Chord, XOR-nearest block
+  /// members on Kademlia (§3.5) — so they sit exactly where counting
+  /// walks probe after the primary.
   int replication = 1;
+
+  /// Transient-failure retry policy: how many times a single DHT
+  /// message (lookup or direct probe) is attempted before the client
+  /// gives up on it. 1 = no retries. Transient means Unavailable or
+  /// DeadlineExceeded, the codes a FaultPlan produces; other errors are
+  /// terminal immediately.
+  int retry_attempts = 4;
+
+  /// Virtual-clock ticks slept before the first retry; doubles per
+  /// subsequent retry (exponential backoff). 0 = retry immediately
+  /// without advancing the clock (the default: backoff ages soft state,
+  /// which only matters when ttl_ticks is finite).
+  uint64_t retry_backoff_ticks = 0;
 
   /// §3.5 bit-shift rule: disregard the first shift_bits bits of each
   /// item, assigning the i-th DHT interval to the (i + shift_bits)-th bit.

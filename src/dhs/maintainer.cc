@@ -32,9 +32,13 @@ StatusOr<size_t> DhsMaintainer::RefreshRound(Rng& rng) {
   for (const auto& [node, metrics] : registry_) {
     for (const auto& [metric, items] : metrics) {
       batch.assign(items.begin(), items.end());
-      Status s = client_->InsertBatch(node, metric, batch, rng);
-      if (s.IsInvalidArgument()) continue;  // node left the overlay
-      if (!s.ok()) return s;
+      auto refreshed = client_->InsertBatch(node, metric, batch, rng);
+      if (!refreshed.ok()) {
+        if (refreshed.status().IsInvalidArgument()) {
+          continue;  // node left the overlay
+        }
+        return refreshed.status();
+      }
       ++rounds;
     }
   }

@@ -85,6 +85,24 @@ Status ChordNetwork::AuditDerivedState() const {
   return Status::OK();
 }
 
+std::vector<uint64_t> ChordNetwork::ReplicaCandidates(
+    const IdInterval& interval, uint64_t key, uint64_t primary,
+    int max_replicas) const {
+  (void)interval;  // ring placement depends only on the primary
+  (void)key;
+  std::vector<uint64_t> replicas;
+  if (max_replicas <= 0 || NumNodes() <= 1) return replicas;
+  const std::vector<uint64_t>& r = ring();
+  const size_t n = r.size();
+  size_t idx = RingIndexOf(primary);
+  while (static_cast<int>(replicas.size()) < max_replicas) {
+    idx = idx + 1 == n ? 0 : idx + 1;
+    if (r[idx] == primary) break;  // wrapped: every live node holds one
+    replicas.push_back(r[idx]);
+  }
+  return replicas;
+}
+
 std::vector<uint64_t> ChordNetwork::ProbeCandidates(
     const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
     int max_candidates) const {

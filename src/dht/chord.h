@@ -37,6 +37,15 @@ class ChordNetwork : public DhtNetwork {
                                         uint64_t start_node,
                                         int max_candidates) const override;
 
+  /// §3.5 on a ring: copies go to the primary's successors — when the
+  /// primary fails, successor(key) resolves to exactly the next node
+  /// clockwise, so the i-th replica is the node that becomes
+  /// responsible after i failures (and the node the probe walk tries
+  /// next).
+  std::vector<uint64_t> ReplicaCandidates(const IdInterval& interval,
+                                          uint64_t key, uint64_t primary,
+                                          int max_replicas) const override;
+
  protected:
   size_t NextHopIndex(size_t current_idx, uint64_t current_id,
                       uint64_t key) const override;

@@ -1,0 +1,78 @@
+#include "dht/fault.h"
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace dhs {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kDrop:
+      return "drop";
+    case FaultType::kTimeout:
+      return "timeout";
+    case FaultType::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+Status FaultConfig::Validate() const {
+  const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!in_unit(drop_probability) || !in_unit(timeout_probability) ||
+      !in_unit(crash_probability)) {
+    return Status::InvalidArgument(
+        "fault probabilities must be in [0, 1]");
+  }
+  if (drop_probability + timeout_probability + crash_probability > 1.0) {
+    return Status::InvalidArgument(
+        "fault probabilities must sum to at most 1");
+  }
+  return Status::OK();
+}
+
+FaultType FaultPlan::DecisionFor(const FaultConfig& config, uint64_t seq) {
+  // One SplitMix64 mix of (seed, seq) gives an i.i.d. uniform draw per
+  // message; golden-ratio spacing keeps consecutive sequence numbers
+  // decorrelated. Purely functional: no generator state to replay.
+  const uint64_t mixed =
+      SplitMix64(config.seed ^ (seq * 0x9e3779b97f4a7c15ULL + 1));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  double threshold = config.drop_probability;
+  if (u < threshold) return FaultType::kDrop;
+  threshold += config.timeout_probability;
+  if (u < threshold) return FaultType::kTimeout;
+  threshold += config.crash_probability;
+  if (u < threshold) return FaultType::kCrash;
+  return FaultType::kNone;
+}
+
+FaultType FaultPlan::NextDecision() {
+  DCHECK(active()) << "drawing a fault decision on an inactive plan";
+  const FaultType decision = DecisionFor(config_, seq_);
+  seq_ += 1;
+  stats_.decisions += 1;
+  return decision;
+}
+
+void FaultPlan::RecordApplied(FaultType type) {
+  switch (type) {
+    case FaultType::kNone:
+      break;
+    case FaultType::kDrop:
+      stats_.drops += 1;
+      break;
+    case FaultType::kTimeout:
+      stats_.timeouts += 1;
+      break;
+    case FaultType::kCrash:
+      stats_.crashes += 1;
+      break;
+  }
+}
+
+}  // namespace dhs

@@ -1,0 +1,120 @@
+// Seeded message-level fault injection for the overlay simulator.
+//
+// A FaultPlan decides, per routed message, whether the message is
+// delivered or suffers one of three failure modes (§3.5's failure
+// setting, extended from clean teardown to realistic message loss):
+//
+//   * kDrop    — the message vanishes; the operation fails Unavailable.
+//   * kTimeout — the message times out in flight; the operation fails
+//                DeadlineExceeded. Like a drop, no state changes.
+//   * kCrash   — the *target* node crashes before answering: it is
+//                removed from the network (records lost, as FailNode)
+//                and the operation fails Unavailable.
+//
+// Decisions are a pure function of (seed, message sequence number) —
+// DecisionFor() — so a run is exactly replayable: the differential
+// model checker (tools/audit_sim.cc) recomputes every decision from the
+// same FaultConfig and the observed sequence numbers and must agree
+// with the network's behaviour. The plan can be paused (checker-side
+// introspection probes must not consume fault decisions or sequence
+// numbers).
+//
+// Faults only apply to messages that actually cross the network: a
+// self-delivered message (origin already responsible, or a direct hop
+// to self) cannot be lost, and a crash is downgraded to delivery when
+// it would remove the last node.
+
+#ifndef DHS_DHT_FAULT_H_
+#define DHS_DHT_FAULT_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace dhs {
+
+/// Per-message fault outcome.
+enum class FaultType : uint8_t {
+  kNone = 0,
+  kDrop,
+  kTimeout,
+  kCrash,
+};
+
+const char* FaultTypeName(FaultType type);
+
+/// Fault probabilities and the replay seed. All probabilities are per
+/// message; their sum must be <= 1.
+struct FaultConfig {
+  double drop_probability = 0.0;
+  double timeout_probability = 0.0;
+  double crash_probability = 0.0;
+  uint64_t seed = 0;
+
+  bool Any() const {
+    return drop_probability > 0.0 || timeout_probability > 0.0 ||
+           crash_probability > 0.0;
+  }
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Counters over the decisions a plan has handed out.
+struct FaultStats {
+  uint64_t decisions = 0;  // messages that drew a decision (incl. kNone)
+  uint64_t drops = 0;      // applied, after downgrades
+  uint64_t timeouts = 0;
+  uint64_t crashes = 0;
+
+  uint64_t Applied() const { return drops + timeouts + crashes; }
+};
+
+/// Deterministic per-message fault schedule. Owned by DhtNetwork; the
+/// network draws one decision per routed message and applies downgrades
+/// (self-delivery, last-node crash) before recording the applied fault.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& config) : config_(config) {}
+
+  /// The decision for message number `seq` under `config` — pure, so
+  /// external replayers (the model checker) can predict every draw.
+  static FaultType DecisionFor(const FaultConfig& config, uint64_t seq);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Sequence number the next delivered-or-faulted message will draw.
+  uint64_t seq() const { return seq_; }
+
+  /// True when the plan can fault messages right now.
+  bool active() const { return config_.Any() && !paused_; }
+
+  /// While paused, messages are delivered without drawing a decision or
+  /// advancing the sequence number (checker probes stay invisible).
+  void set_paused(bool paused) { paused_ = paused; }
+  bool paused() const { return paused_; }
+
+  /// Draws the decision for the next message and advances the sequence.
+  /// Must only be called when active().
+  FaultType NextDecision();
+
+  /// Records a fault the network actually applied (post-downgrade).
+  void RecordApplied(FaultType type);
+
+ private:
+  FaultConfig config_;
+  FaultStats stats_;
+  uint64_t seq_ = 0;
+  bool paused_ = false;
+};
+
+/// True for the transient, retry-worthy failure codes a FaultPlan
+/// produces (drop/crash -> Unavailable, timeout -> DeadlineExceeded).
+inline bool IsTransientFault(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded();
+}
+
+}  // namespace dhs
+
+#endif  // DHS_DHT_FAULT_H_

@@ -152,6 +152,22 @@ Status KademliaNetwork::AuditDerivedState() const {
 std::vector<uint64_t> KademliaNetwork::ProbeCandidates(
     const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
     int max_candidates) const {
+  return XorCandidates(interval, probe_key, start_node, max_candidates);
+}
+
+std::vector<uint64_t> KademliaNetwork::ReplicaCandidates(
+    const IdInterval& interval, uint64_t key, uint64_t primary,
+    int max_replicas) const {
+  // Replicas must land exactly where a counting walk for `key` will
+  // look: the XOR-nearest block members, in walk order. Ring successors
+  // of the primary (the Chord recipe) sit at arbitrary XOR positions
+  // and are invisible to lim-bounded walks.
+  return XorCandidates(interval, key, primary, max_replicas);
+}
+
+std::vector<uint64_t> KademliaNetwork::XorCandidates(
+    const IdInterval& interval, uint64_t probe_key, uint64_t start_node,
+    int max_candidates) const {
   std::vector<uint64_t> candidates;
   if (max_candidates <= 0 || NumNodes() == 0) return candidates;
 

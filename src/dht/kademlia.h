@@ -43,6 +43,16 @@ class KademliaNetwork : public DhtNetwork {
                                         uint64_t start_node,
                                         int max_candidates) const override;
 
+  /// §3.5 under XOR geometry: copies go to the block members XOR-nearest
+  /// to the tuple's routing key — the exact order ProbeCandidates hands
+  /// a counting walk for that key (both delegate to XorCandidates), so
+  /// a walk falling past i failed holders lands on the i-th replica.
+  /// Ring successors of the primary (the Chord rule) would scatter
+  /// copies across XOR distance where walks never probe.
+  std::vector<uint64_t> ReplicaCandidates(const IdInterval& interval,
+                                          uint64_t key, uint64_t primary,
+                                          int max_replicas) const override;
+
  protected:
   size_t NextHopIndex(size_t current_idx, uint64_t current_id,
                       uint64_t key) const override;
@@ -74,6 +84,14 @@ class KademliaNetwork : public DhtNetwork {
   /// XOR-closest node to `key` within the non-empty aligned block
   /// [lo, lo + size). Preconditions: block non-empty.
   uint64_t ClosestWithin(uint64_t lo, uint64_t size, uint64_t key) const;
+
+  /// Members of the smallest non-empty aligned block enclosing
+  /// `interval`, ranked by XOR distance to `key`, excluding `exclude`;
+  /// at most `max_candidates`. The shared ordering behind both
+  /// ProbeCandidates and ReplicaCandidates.
+  std::vector<uint64_t> XorCandidates(const IdInterval& interval,
+                                      uint64_t key, uint64_t exclude,
+                                      int max_candidates) const;
 
   // Lazily filled; cleared on membership change.
   mutable std::unordered_map<uint64_t, BucketTable> bucket_cache_;

@@ -150,6 +150,39 @@ size_t DhtNetwork::CountNodesInRange(uint64_t lo, uint64_t hi) const {
   return (ring_.size() - at(lo)) + at(hi);
 }
 
+Status DhtNetwork::SetFaultPlan(const FaultConfig& fault_config) {
+  Status s = fault_config.Validate();
+  if (!s.ok()) return s;
+  fault_plan_ = FaultPlan(fault_config);
+  return Status::OK();
+}
+
+void DhtNetwork::ClearFaultPlan() { fault_plan_ = FaultPlan(); }
+
+Status DhtNetwork::InjectFault(uint64_t from_node, uint64_t target_node) {
+  const FaultType decision = fault_plan_.NextDecision();
+  if (decision == FaultType::kNone) return Status::OK();
+  // A self-delivered message never crosses the network: downgrade. This
+  // also covers the would-be last-node crash (two distinct live
+  // endpoints imply a survivor).
+  if (target_node == from_node) return Status::OK();
+  fault_plan_.RecordApplied(decision);
+  switch (decision) {
+    case FaultType::kDrop:
+      return Status::Unavailable("message dropped (fault injection)");
+    case FaultType::kTimeout:
+      return Status::DeadlineExceeded(
+          "message timed out (fault injection)");
+    case FaultType::kCrash:
+      crash_log_.push_back(target_node);
+      CHECK_OK(FailNode(target_node)) << "crashing a live target";
+      return Status::Unavailable("target node crashed (fault injection)");
+    case FaultType::kNone:
+      break;
+  }
+  return Status::OK();
+}
+
 StatusOr<LookupResult> DhtNetwork::Lookup(uint64_t from_node, uint64_t key,
                                           size_t payload_bytes) {
   from_node = space_.Clamp(from_node);
@@ -159,9 +192,20 @@ StatusOr<LookupResult> DhtNetwork::Lookup(uint64_t from_node, uint64_t key,
     return Status::InvalidArgument("lookup origin is not a live node");
   }
 
-  LookupResult result;
-  size_t cur_idx = static_cast<size_t>(origin - ring_.begin());
   stats_.messages += 1;
+  if (fault_plan_.active()) {
+    // The fault applies to the request as issued: charged as one
+    // message, but no hops or bytes — undelivered work is
+    // unobservable. The crash victim is the node that would answer.
+    auto responsible = ResponsibleNode(key);
+    CHECK_OK(responsible) << "responsibility on a non-empty network";
+    Status fault = InjectFault(from_node, responsible.value());
+    if (!fault.ok()) return fault;
+  }
+
+  LookupResult result;
+  // Only the error paths above mutate membership, so `origin` is intact.
+  size_t cur_idx = static_cast<size_t>(origin - ring_.begin());
   for (int step = 0; step <= config_.max_route_hops; ++step) {
     const size_t next_idx = NextHopIndex(cur_idx, ring_[cur_idx], key);
     if (next_idx == cur_idx) {
@@ -186,6 +230,10 @@ Status DhtNetwork::DirectHop(uint64_t from_node, uint64_t to_node,
     return Status::InvalidArgument("direct hop between unknown nodes");
   }
   stats_.messages += 1;
+  if (fault_plan_.active()) {
+    Status fault = InjectFault(from_node, to_node);
+    if (!fault.ok()) return fault;
+  }
   if (from_node != to_node) {
     stats_.hops += 1;
     stats_.bytes += payload_bytes;

@@ -41,6 +41,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "dht/fault.h"
 #include "dht/node_id.h"
 #include "dht/stats.h"
 #include "dht/store.h"
@@ -135,6 +136,20 @@ class DhtNetwork : private ThreadHostile {
                                                 uint64_t start_node,
                                                 int max_candidates) const = 0;
 
+  /// Nodes that should hold the extra copies of a tuple whose primary
+  /// holder is `primary` (the responsible node of `key`, which lies in
+  /// `interval`), in the order a counting walk probes after the primary.
+  /// Replication degree R therefore puts the i-th copy exactly where a
+  /// walk looks (i+1)-th, so copies stay visible after the primary
+  /// fails — the ordering is shared with ProbeCandidates by
+  /// construction (§3.5: Chord replicates to ring successors; Kademlia
+  /// to the XOR-nearest block members). At most `max_replicas` entries;
+  /// never contains `primary`.
+  virtual std::vector<uint64_t> ReplicaCandidates(const IdInterval& interval,
+                                                  uint64_t key,
+                                                  uint64_t primary,
+                                                  int max_replicas) const = 0;
+
   // ---- Routed operations (charged to stats) ------------------------------
 
   /// Routes from `from_node` to the responsible node of `key`; charges
@@ -177,6 +192,32 @@ class DhtNetwork : private ThreadHostile {
   /// pushes its earliest finite expiry into a shared watermark, and the
   /// tick returns immediately while now < watermark.
   void AdvanceClock(uint64_t ticks);
+
+  // ---- Fault injection ----------------------------------------------------
+
+  /// Installs a seeded fault plan: every subsequent Lookup/DirectHop
+  /// (and the Put/GetValue primitives built on them) draws one
+  /// deterministic per-message decision — delivered, dropped
+  /// (Unavailable), timed out (DeadlineExceeded) or target crashed
+  /// (FailNode + Unavailable). Replaces any previous plan and resets
+  /// its sequence number; validate-fails on bad probabilities.
+  [[nodiscard]] Status SetFaultPlan(const FaultConfig& fault_config);
+
+  /// Removes the fault plan (messages always deliver again).
+  void ClearFaultPlan();
+
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Pauses/resumes fault draws without touching the sequence number,
+  /// so introspection probes (the model checker's cross-checks) stay
+  /// invisible to the replayable schedule.
+  void PauseFaults(bool paused) { fault_plan_.set_paused(paused); }
+
+  /// Every node the fault plan has crashed, in crash order. Replayers
+  /// (audit_sim) reconcile this log into their reference membership
+  /// after each operation — a crash can land mid-operation, several per
+  /// multi-message client call.
+  const std::vector<uint64_t>& crash_log() const { return crash_log_; }
 
   // ---- Cost accounting ----------------------------------------------------
 
@@ -267,6 +308,17 @@ class DhtNetwork : private ThreadHostile {
  private:
   void RingInsert(uint64_t node_id);
   void RingErase(uint64_t node_id);
+
+  /// Draws (and applies) the fault decision for one message from
+  /// `from_node` to `target_node`. OK = delivered; otherwise the
+  /// transient failure the caller must surface. The message has already
+  /// been charged to stats_.messages; faulted messages charge no hops
+  /// or bytes (undelivered work is unobservable). Self-delivered
+  /// messages and last-node crashes are downgraded to delivery.
+  [[nodiscard]] Status InjectFault(uint64_t from_node, uint64_t target_node);
+
+  FaultPlan fault_plan_;
+  std::vector<uint64_t> crash_log_;  // fault-crashed nodes, in order
 
   std::vector<uint64_t> ring_;    // sorted live IDs
   std::vector<NodeLoad> loads_;   // parallel to ring_: dense, so the

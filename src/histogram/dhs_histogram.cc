@@ -22,9 +22,10 @@ Status DhsHistogram::InsertBatch(
     by_bucket[spec_.BucketOf(value)].push_back(hash);
   }
   for (const auto& [bucket, hashes] : by_bucket) {
-    Status s = client_->InsertBatch(origin_node, MetricForBucket(bucket),
-                                    hashes, rng);
-    if (!s.ok()) return s;
+    auto inserted = client_->InsertBatch(origin_node,
+                                         MetricForBucket(bucket), hashes,
+                                         rng);
+    if (!inserted.ok()) return inserted.status();
   }
   return Status::OK();
 }

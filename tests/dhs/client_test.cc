@@ -468,5 +468,115 @@ TEST_F(DhsClientTest, SllSurvivesModerateFailures) {
   EXPECT_LT(result->estimate, 2.0 * kN);
 }
 
+TEST_F(DhsClientTest, InsertReportsReplicationCost) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.replication = 3;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Rng rng(31);
+  auto cost = client->Insert(net_.RandomNode(rng), 1, 0xdeadbeefcafef00dull,
+                             rng);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->replicas_requested, 3);
+  EXPECT_EQ(cost->replicas_written, 3);  // 256 live nodes: no excuse
+  EXPECT_EQ(cost->retries, 0);
+  EXPECT_EQ(cost->failed_probes, 0);
+  EXPECT_EQ(cost->bit_groups_failed, 0);
+  EXPECT_EQ(cost->direct_probes, 2);  // primary write rides the lookup
+}
+
+TEST_F(DhsClientTest, InsertFailsCleanlyWhenEveryMessageDrops) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  FaultConfig faults;
+  faults.drop_probability = 1.0;
+  ASSERT_TRUE(net_.SetFaultPlan(faults).ok());
+  Rng rng(32);
+  auto cost = client->Insert(net_.RandomNode(rng), 1, 42, rng);
+  ASSERT_FALSE(cost.ok());
+  EXPECT_TRUE(cost.status().IsUnavailable()) << cost.status().ToString();
+  net_.ClearFaultPlan();
+}
+
+TEST_F(DhsClientTest, CountDegradesInsteadOfFailingUnderTotalLoss) {
+  auto client = DhsClient::Create(&net_, Config(DhsEstimator::kSuperLogLog));
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 13, 20000, 83);
+  FaultConfig faults;
+  faults.drop_probability = 1.0;
+  ASSERT_TRUE(net_.SetFaultPlan(faults).ok());
+  Rng rng(33);
+  auto result = client->Count(net_.RandomNode(rng), 13, rng);
+  net_.ClearFaultPlan();
+  // Even with every message lost the count returns a (degraded) result.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->gave_up);
+  EXPECT_GT(result->bitmaps_unresolved, 0);
+  EXPECT_GT(result->cost.retries, 0);
+}
+
+TEST_F(DhsClientTest, RetryBackoffAdvancesClockExponentially) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.retry_attempts = 3;
+  config.retry_backoff_ticks = 2;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  FaultConfig faults;
+  faults.drop_probability = 1.0;
+  ASSERT_TRUE(net_.SetFaultPlan(faults).ok());
+  Rng rng(34);
+  const uint64_t before = net_.now();
+  ASSERT_FALSE(client->Insert(net_.RandomNode(rng), 1, 7, rng).ok());
+  net_.ClearFaultPlan();
+  // Three attempts, backoff after the first two: 2 + 4 ticks.
+  EXPECT_EQ(net_.now() - before, 6u);
+}
+
+TEST_F(DhsClientTest, InsertBatchContinuesPastFailedBitGroups) {
+  // A transient failure in one bit group must not silently drop the
+  // remaining groups: the batch records the failure and keeps going.
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.retry_attempts = 1;  // make per-group failure likely
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  FaultConfig faults;
+  faults.drop_probability = 0.5;
+  faults.seed = 21;
+  ASSERT_TRUE(net_.SetFaultPlan(faults).ok());
+  Rng rng(36);
+  MixHasher hasher(36);
+  std::vector<uint64_t> batch;
+  for (uint64_t i = 0; i < 400; ++i) batch.push_back(hasher.HashU64(i));
+  auto cost = client->InsertBatch(net_.RandomNode(rng), 15, batch, rng);
+  net_.ClearFaultPlan();
+  ASSERT_TRUE(cost.ok()) << cost.status().ToString();
+  EXPECT_GT(cost->bit_groups_failed, 0);
+  // The groups that survived are stored and countable.
+  auto result = client->Count(net_.RandomNode(rng), 15, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->estimate, 0.0);
+}
+
+TEST_F(DhsClientTest, CountCompletesCleanlyUnderModerateDrops) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.replication = 2;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 14, 20000, 91);
+  FaultConfig faults;
+  faults.drop_probability = 0.05;
+  faults.seed = 5;
+  ASSERT_TRUE(net_.SetFaultPlan(faults).ok());
+  Rng rng(35);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto result = client->Count(net_.RandomNode(rng), 14, rng);
+    ASSERT_TRUE(result.ok());
+    // The default retry policy rides out 5% loss: no interval abandoned.
+    EXPECT_FALSE(result->gave_up) << "trial " << trial;
+    EXPECT_EQ(result->bitmaps_unresolved, 0) << "trial " << trial;
+  }
+  net_.ClearFaultPlan();
+}
+
 }  // namespace
 }  // namespace dhs

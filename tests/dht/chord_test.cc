@@ -94,6 +94,22 @@ TEST(ChordRingTest, CountNodesInRange) {
   EXPECT_EQ(net.CountNodesInRange(250, 150), 2u);
 }
 
+TEST(ChordRingTest, ReplicaCandidatesAreRingSuccessorsOfPrimary) {
+  ChordNetwork net(FastConfig());
+  for (uint64_t id : {100u, 200u, 300u, 400u}) {
+    ASSERT_TRUE(net.AddNode(id).ok());
+  }
+  const IdInterval interval{0, uint64_t{1} << 62};
+  const std::vector<uint64_t> expected{300u, 400u, 100u};  // wraps past 400
+  EXPECT_EQ(net.ReplicaCandidates(interval, 150, 200, 3), expected);
+  // Requesting a full ring's worth stops before revisiting the primary.
+  EXPECT_EQ(net.ReplicaCandidates(interval, 150, 200, 10).size(), 3u);
+  // A single node has nowhere to replicate.
+  ChordNetwork lonely(FastConfig());
+  ASSERT_TRUE(lonely.AddNode(7).ok());
+  EXPECT_TRUE(lonely.ReplicaCandidates(interval, 5, 7, 3).empty());
+}
+
 TEST(ChordDataTest, PutAndGetValue) {
   ChordNetwork net(FastConfig());
   for (uint64_t id : {100u, 200u, 300u}) ASSERT_TRUE(net.AddNode(id).ok());

@@ -1,0 +1,218 @@
+// FaultPlan unit tests and the DhtNetwork fault-injection contract:
+// deterministic decisions, per-message accounting under each fault
+// type, the self-delivery downgrade, and pause semantics.
+
+#include "dht/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+
+namespace dhs {
+namespace {
+
+FaultConfig MakeConfig(double drop, double timeout, double crash,
+                       uint64_t seed = 99) {
+  FaultConfig config;
+  config.drop_probability = drop;
+  config.timeout_probability = timeout;
+  config.crash_probability = crash;
+  config.seed = seed;
+  return config;
+}
+
+TEST(FaultConfigTest, ValidatesProbabilities) {
+  EXPECT_TRUE(MakeConfig(0.0, 0.0, 0.0).Validate().ok());
+  EXPECT_TRUE(MakeConfig(0.5, 0.3, 0.2).Validate().ok());
+  EXPECT_FALSE(MakeConfig(-0.1, 0.0, 0.0).Validate().ok());
+  EXPECT_FALSE(MakeConfig(0.0, 1.5, 0.0).Validate().ok());
+  EXPECT_FALSE(MakeConfig(0.6, 0.6, 0.0).Validate().ok());  // sum > 1
+}
+
+TEST(FaultPlanTest, DecisionForIsPureAndDeterministic) {
+  const FaultConfig config = MakeConfig(0.2, 0.1, 0.05, 42);
+  for (uint64_t seq = 0; seq < 512; ++seq) {
+    EXPECT_EQ(FaultPlan::DecisionFor(config, seq),
+              FaultPlan::DecisionFor(config, seq))
+        << "seq " << seq;
+  }
+  // A different seed must give a different stream (overwhelmingly).
+  FaultConfig other = config;
+  other.seed = 43;
+  int diffs = 0;
+  for (uint64_t seq = 0; seq < 512; ++seq) {
+    if (FaultPlan::DecisionFor(config, seq) !=
+        FaultPlan::DecisionFor(other, seq)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultPlanTest, DecisionFrequenciesMatchProbabilities) {
+  const FaultConfig config = MakeConfig(0.3, 0.2, 0.1, 7);
+  const int kDraws = 20000;
+  int drops = 0, timeouts = 0, crashes = 0;
+  for (uint64_t seq = 0; seq < kDraws; ++seq) {
+    switch (FaultPlan::DecisionFor(config, seq)) {
+      case FaultType::kDrop: ++drops; break;
+      case FaultType::kTimeout: ++timeouts; break;
+      case FaultType::kCrash: ++crashes; break;
+      case FaultType::kNone: break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kDraws, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(timeouts) / kDraws, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(crashes) / kDraws, 0.1, 0.02);
+}
+
+TEST(FaultPlanTest, NextDecisionAdvancesSeqAndCountsDecisions) {
+  FaultPlan plan(MakeConfig(0.5, 0.0, 0.0, 3));
+  ASSERT_TRUE(plan.active());
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(plan.seq(), i);
+    const FaultType expected = FaultPlan::DecisionFor(plan.config(), i);
+    EXPECT_EQ(plan.NextDecision(), expected);
+  }
+  EXPECT_EQ(plan.stats().decisions, 16u);
+}
+
+class FaultInjectionTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    OverlayConfig config;
+    config.hasher = "mix";
+    if (GetParam()) {
+      net_ = std::make_unique<ChordNetwork>(config);
+    } else {
+      net_ = std::make_unique<KademliaNetwork>(config);
+    }
+    Rng rng(17);
+    for (int i = 0; i < 32; ++i) {
+      ASSERT_TRUE(net_->AddNode(rng.Next()).ok());
+    }
+  }
+
+  void TearDown() override {
+    const Status audit = net_->AuditFull();
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+  }
+
+  // A (from, key) pair whose lookup crosses the network: the responsible
+  // node differs from the origin, so no self-delivery downgrade applies.
+  std::pair<uint64_t, uint64_t> CrossNetworkLookup(Rng& rng) {
+    while (true) {
+      const uint64_t from = net_->RandomNode(rng);
+      const uint64_t key = rng.Next();
+      auto responsible = net_->ResponsibleNode(key);
+      EXPECT_TRUE(responsible.ok());
+      if (responsible.value() != from) return {from, key};
+    }
+  }
+
+  std::unique_ptr<DhtNetwork> net_;
+};
+
+TEST_P(FaultInjectionTest, CertainDropFailsLookupAndChargesOneMessage) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(1.0, 0.0, 0.0)).ok());
+  Rng rng(1);
+  const auto [from, key] = CrossNetworkLookup(rng);
+  const MessageStats before = net_->stats();
+  auto result = net_->Lookup(from, key);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  // The attempt is on the books; the undelivered work is not.
+  EXPECT_EQ(net_->stats().messages - before.messages, 1u);
+  EXPECT_EQ(net_->stats().hops, before.hops);
+  EXPECT_EQ(net_->stats().bytes, before.bytes);
+  EXPECT_EQ(net_->fault_plan().stats().drops, 1u);
+}
+
+TEST_P(FaultInjectionTest, CertainTimeoutReturnsDeadlineExceeded) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(0.0, 1.0, 0.0)).ok());
+  Rng rng(2);
+  const auto [from, key] = CrossNetworkLookup(rng);
+  auto result = net_->Lookup(from, key);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded())
+      << result.status().ToString();
+}
+
+TEST_P(FaultInjectionTest, CrashFailsTargetAndLogsVictim) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(0.0, 0.0, 1.0)).ok());
+  Rng rng(3);
+  const auto [from, key] = CrossNetworkLookup(rng);
+  const uint64_t victim = net_->ResponsibleNode(key).value();
+  const size_t nodes_before = net_->NumNodes();
+  auto result = net_->Lookup(from, key);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  EXPECT_EQ(net_->NumNodes(), nodes_before - 1);
+  EXPECT_FALSE(net_->Contains(victim));
+  ASSERT_EQ(net_->crash_log().size(), 1u);
+  EXPECT_EQ(net_->crash_log().front(), victim);
+}
+
+TEST_P(FaultInjectionTest, SelfDeliveryIsDowngradedToDelivery) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(0.0, 0.0, 1.0)).ok());
+  Rng rng(4);
+  const uint64_t node = net_->RandomNode(rng);
+  // A direct hop to oneself cannot be faulted: there is no wire to cut.
+  const uint64_t seq_before = net_->fault_plan().seq();
+  EXPECT_TRUE(net_->DirectHop(node, node, 8).ok());
+  // The decision was still drawn (the stream stays aligned) but not
+  // applied.
+  EXPECT_EQ(net_->fault_plan().seq(), seq_before + 1);
+  EXPECT_EQ(net_->fault_plan().stats().Applied(), 0u);
+  EXPECT_TRUE(net_->crash_log().empty());
+}
+
+TEST_P(FaultInjectionTest, PausedPlanDeliversWithoutDrawingDecisions) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(1.0, 0.0, 0.0)).ok());
+  net_->PauseFaults(true);
+  Rng rng(5);
+  const auto [from, key] = CrossNetworkLookup(rng);
+  const uint64_t seq_before = net_->fault_plan().seq();
+  EXPECT_TRUE(net_->Lookup(from, key).ok());
+  EXPECT_EQ(net_->fault_plan().seq(), seq_before);
+  net_->PauseFaults(false);
+  EXPECT_FALSE(net_->Lookup(from, key).ok());
+}
+
+TEST_P(FaultInjectionTest, ClearFaultPlanRestoresReliability) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(1.0, 0.0, 0.0)).ok());
+  Rng rng(6);
+  const auto [from, key] = CrossNetworkLookup(rng);
+  EXPECT_FALSE(net_->Lookup(from, key).ok());
+  net_->ClearFaultPlan();
+  EXPECT_TRUE(net_->Lookup(from, key).ok());
+}
+
+TEST_P(FaultInjectionTest, InvalidPlanIsRejected) {
+  EXPECT_FALSE(net_->SetFaultPlan(MakeConfig(0.7, 0.7, 0.0)).ok());
+  EXPECT_FALSE(net_->fault_plan().active());
+}
+
+TEST_P(FaultInjectionTest, EveryMessageDrawsExactlyOneDecision) {
+  ASSERT_TRUE(net_->SetFaultPlan(MakeConfig(0.2, 0.1, 0.0, 11)).ok());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t seq_before = net_->fault_plan().seq();
+    const MessageStats before = net_->stats();
+    (void)net_->Lookup(net_->RandomNode(rng), rng.Next());
+    EXPECT_EQ(net_->fault_plan().seq(), seq_before + 1);
+    EXPECT_EQ(net_->stats().messages - before.messages, 1u);
+  }
+  EXPECT_EQ(net_->fault_plan().stats().decisions, 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGeometries, FaultInjectionTest,
+                         ::testing::Bool(), [](const auto& info) {
+                           return info.param ? "Chord" : "Kademlia";
+                         });
+
+}  // namespace
+}  // namespace dhs

@@ -183,6 +183,24 @@ TEST_F(KademliaTest, ProbeCandidatesStayRelevantForEmptyBlocks) {
 }
 
 // The headline: DHS runs unchanged over the XOR geometry.
+TEST_F(KademliaTest, ReplicaCandidatesShareProbeOrdering) {
+  // Replica placement and the counting walk must rank holders the same
+  // way, or replicas land where no walk looks (the bug this pins): with
+  // identical arguments the two candidate lists are identical.
+  Build(128);
+  Rng rng(23);
+  for (int trial = 0; trial < 32; ++trial) {
+    const int size_log = 48 + static_cast<int>(rng.UniformU64(16));
+    IdInterval interval{uint64_t{1} << size_log, uint64_t{1} << size_log};
+    const uint64_t key = interval.lo + rng.UniformU64(interval.size);
+    auto primary = net_.ResponsibleNode(key);
+    ASSERT_TRUE(primary.ok());
+    EXPECT_EQ(net_.ReplicaCandidates(interval, key, primary.value(), 6),
+              net_.ProbeCandidates(interval, key, primary.value(), 6))
+        << "trial " << trial;
+  }
+}
+
 class DhsOverKademliaTest
     : public ::testing::TestWithParam<DhsEstimator> {};
 

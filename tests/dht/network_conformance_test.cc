@@ -207,6 +207,49 @@ TEST_P(NetworkConformanceTest, NonEmptyIntervalCandidatesCoverHolders) {
   }
 }
 
+TEST_P(NetworkConformanceTest, ReplicaCandidatesAreLiveDistinctAndBounded) {
+  Build(128);
+  Rng rng(11);
+  for (int size_log = 50; size_log < 64; ++size_log) {
+    IdInterval interval{uint64_t{1} << size_log, uint64_t{1} << size_log};
+    const uint64_t key = interval.lo + rng.UniformU64(interval.size);
+    auto primary = net_->ResponsibleNode(key);
+    ASSERT_TRUE(primary.ok());
+    const auto replicas =
+        net_->ReplicaCandidates(interval, key, primary.value(), 4);
+    EXPECT_LE(replicas.size(), 4u);
+    std::set<uint64_t> seen;
+    for (uint64_t replica : replicas) {
+      EXPECT_TRUE(net_->Contains(replica));
+      EXPECT_NE(replica, primary.value());
+      EXPECT_TRUE(seen.insert(replica).second);  // distinct
+    }
+  }
+}
+
+TEST_P(NetworkConformanceTest, FirstReplicaTakesOverResponsibilityOnFailure) {
+  // The point of geometry-aware placement: the first replica candidate
+  // is the node that *becomes responsible* for the key once the primary
+  // fails, so a copy there keeps the key resolvable — and its DHS bits
+  // countable — across the failure. (Ring-successor placement violates
+  // this under Kademlia: the XOR-nearest survivor took over, but the
+  // copy sat on the ring successor.)
+  Build(96);
+  Rng rng(12);
+  for (int trial = 0; trial < 64; ++trial) {
+    const int size_log = 50 + static_cast<int>(rng.UniformU64(14));
+    IdInterval interval{uint64_t{1} << size_log, uint64_t{1} << size_log};
+    const uint64_t key = interval.lo + rng.UniformU64(interval.size);
+    const uint64_t primary = net_->ResponsibleNode(key).value();
+    const auto replicas = net_->ReplicaCandidates(interval, key, primary, 1);
+    ASSERT_EQ(replicas.size(), 1u) << "trial " << trial;
+    ASSERT_TRUE(net_->FailNode(primary).ok());
+    EXPECT_EQ(net_->ResponsibleNode(key).value(), replicas.front())
+        << "trial " << trial;
+    ASSERT_TRUE(net_->AddNode(primary).ok());  // restore for the next trial
+  }
+}
+
 TEST_P(NetworkConformanceTest, LoadServedMatchesLookups) {
   Build(64);
   Rng rng(9);

@@ -21,6 +21,29 @@
 //   * the full invariant audit (DhtNetwork::AuditFull + DhsClient::
 //     AuditFull) at every checkpoint.
 //
+// Fault mode (--drop/--timeout/--crash): installs a seeded FaultPlan on
+// the network and *replays* it — each raw operation predicts its own
+// fault decision via the pure FaultPlan::DecisionFor before issuing the
+// message, then checks the network agreed (status code, stats delta,
+// crash victim). Crashes land mid-operation; the reference reconciles
+// them from the network's crash log after every op. The checker's own
+// introspection probes run with the plan paused, so store and count
+// cross-checks stay exact, and a periodic unpaused count validates the
+// degraded-result contract (cost-report/stats agreement, gave_up /
+// bitmaps_unresolved / retries invariants) under live faults.
+//
+// The client runs with replication=2, so every differential check runs
+// against a replicated store: replica copies must land where counting
+// walks can reach them (ReplicaCandidates sharing geometry with
+// ProbeCandidates), and walk observables must keep matching a scan of
+// the reachable stores through arbitrary churn. The scan's ground truth
+// is the per-bit *reachable universe* — interval members plus the
+// geometry's boundary node — not every store: churn can strand a
+// replica copy beyond any walk's horizon (e.g. a Chord copy two
+// successors past the interval whose primary-chain holder then failed),
+// and such a copy is invisible to every client by construction, not by
+// bug.
+//
 // Any divergence aborts with a CHECK failure naming the step and the
 // disagreeing values. Exit code 0 means N steps of zero divergence.
 //
@@ -36,6 +59,7 @@
 // Usage: audit_sim [--geometry=chord|kademlia|both] [--steps=10000]
 //                  [--seed=1] [--estimator=sll|pcsa|hll]
 //                  [--schedules=1] [--jobs=0 (hardware)]
+//                  [--drop=P] [--timeout=P] [--crash=P]
 
 #include <cinttypes>
 #include <cstdio>
@@ -51,6 +75,7 @@
 #include "common/thread_pool.h"
 #include "dhs/client.h"
 #include "dht/chord.h"
+#include "dht/fault.h"
 #include "dht/kademlia.h"
 #include "hashing/hasher.h"
 #include "sketch/estimator.h"
@@ -236,6 +261,7 @@ struct SimOptions {
   DhsEstimator estimator = DhsEstimator::kSuperLogLog;
   int schedules = 1;  // independently seeded runs (seed, seed+1, ...)
   int jobs = 0;       // worker threads; 0 = hardware concurrency
+  FaultConfig faults;  // probabilities only; seed derived per schedule
 };
 
 class DifferentialSim {
@@ -268,6 +294,12 @@ class DifferentialSim {
       } else {
         DoDhsInsert();
       }
+      ReconcileCrashes();
+      // Crash faults can sink membership below the churn floor that
+      // DoLeaveOrFail respects; top the overlay back up so the op mix
+      // keeps exercising a populated network.
+      while (faults_enabled_ && ref_.NumNodes() < kMinNodes) DoJoin();
+      if (faults_enabled_ && step_ % 350 == 349) DoFaultyCount();
       CheckMembership();
       if (step_ % 250 == 249) CheckStoresAgainstReference();
       if (step_ % 500 == 499) CheckCountsAgainstGlobalScan();
@@ -311,10 +343,93 @@ class DifferentialSim {
     config.lim = kMaxNodes + 8;
     config.max_lim = config.lim;
     config.ttl_ticks = 400;
+    // Two copies per tuple: the checker then continuously proves that
+    // replicas live where counting walks look (global-scan agreement
+    // would break the first time a copy strands outside the probe set).
+    config.replication = 2;
     auto client = DhsClient::Create(net_.get(), config);
     CHECK_OK(client) << "bootstrap client";
     client_ = std::make_unique<DhsClient>(std::move(client.value()));
+
+    if (options_.faults.Any()) {
+      fault_cfg_ = options_.faults;
+      // Per-schedule fault stream, decoupled from the op stream's seed.
+      fault_cfg_.seed = SplitMix64(options_.seed ^ 0xfa017fa017fa017full);
+      CHECK_OK(net_->SetFaultPlan(fault_cfg_)) << "bootstrap fault plan";
+      faults_enabled_ = true;
+    }
   }
+
+  // ---- Fault replay ------------------------------------------------------
+
+  /// Predicts the fault decision the network will draw for its next
+  /// message, mirroring InjectFault: kNone passes through, and a draw
+  /// against a self-delivery (target == from) is downgraded.
+  FaultType PeekFault(uint64_t from, uint64_t target) const {
+    if (!faults_enabled_) return FaultType::kNone;
+    const FaultType decision =
+        FaultPlan::DecisionFor(fault_cfg_, net_->fault_plan().seq());
+    if (decision == FaultType::kNone) return decision;
+    if (target == from) return FaultType::kNone;
+    return decision;
+  }
+
+  /// A single-message op consumes exactly one fault decision — delivered
+  /// or not — so the replayed plan can never drift out of phase.
+  void CheckSeqAdvanced(uint64_t seq_before, const char* op) const {
+    if (!faults_enabled_) return;
+    CHECK_EQ(net_->fault_plan().seq(), seq_before + 1)
+        << "step " << step_ << ": " << op
+        << " consumed != 1 fault decision";
+  }
+
+  /// Checks a predicted-faulted op failed with the matching status code
+  /// and charged exactly one message, zero hops, zero bytes (undelivered
+  /// work is unobservable); for crashes, that the predicted victim is
+  /// the one the network logged.
+  void CheckFaultedOp(const Status& status, FaultType fault, uint64_t target,
+                      const MessageStats& before, const char* op) {
+    if (fault == FaultType::kTimeout) {
+      CHECK(status.IsDeadlineExceeded())
+          << "step " << step_ << ": " << op << ": predicted timeout, got "
+          << status.ToString();
+    } else {
+      CHECK(status.IsUnavailable())
+          << "step " << step_ << ": " << op << ": predicted "
+          << FaultTypeName(fault) << ", got " << status.ToString();
+    }
+    if (fault == FaultType::kCrash) {
+      const auto& log = net_->crash_log();
+      CHECK(!log.empty() && log.back() == target)
+          << "step " << step_ << ": " << op << ": crash victim diverges "
+          << "from the predicted responsible node";
+    }
+    ExpectStatsDelta(before, 1, 0, 0, op);
+  }
+
+  /// Replays network crashes (fault-injected mid-operation) into the
+  /// reference model, in the order they happened. Idempotent.
+  void ReconcileCrashes() {
+    const auto& log = net_->crash_log();
+    for (; crash_log_seen_ < log.size(); ++crash_log_seen_) {
+      ref_.Fail(log[crash_log_seen_]);
+    }
+  }
+
+  /// Pauses fault injection for the checker's own introspection probes:
+  /// they must observe the world, not perturb the fault stream.
+  class PausedFaults {
+   public:
+    explicit PausedFaults(DhtNetwork* net) : net_(net) {
+      net_->PauseFaults(true);
+    }
+    ~PausedFaults() { net_->PauseFaults(false); }
+    PausedFaults(const PausedFaults&) = delete;
+    PausedFaults& operator=(const PausedFaults&) = delete;
+
+   private:
+    DhtNetwork* net_;
+  };
 
   // ---- Operations (each mirrored into the reference) ---------------------
 
@@ -359,10 +474,23 @@ class DifferentialSim {
     const uint64_t from = ref_.RandomMember(rng_);
 
     const MessageStats before = net_->stats();
-    const int expect_hops = ref_.RouteHops(from, dht_key);
+    const uint64_t seq_before = net_->fault_plan().seq();
+    const uint64_t target = ref_.Responsible(dht_key);
+    const FaultType fault = PeekFault(from, target);
     auto holder = net_->Put(from, dht_key, key, value, ttl);
+    CheckSeqAdvanced(seq_before, "put");
+    if (fault != FaultType::kNone) {
+      CHECK(!holder.ok())
+          << "step " << step_ << ": put delivered despite a predicted "
+          << FaultTypeName(fault);
+      CheckFaultedOp(holder.status(), fault, target, before, "faulted put");
+      ReconcileCrashes();
+      ++ops_;
+      return;
+    }
+    const int expect_hops = ref_.RouteHops(from, dht_key);
     CHECK_OK(holder) << "step " << step_ << ": put";
-    CHECK_EQ(holder.value(), ref_.Responsible(dht_key))
+    CHECK_EQ(holder.value(), target)
         << "step " << step_ << ": put landed on the wrong node";
     ExpectStatsDelta(before, 1, expect_hops,
                      static_cast<uint64_t>(expect_hops) *
@@ -391,8 +519,21 @@ class DifferentialSim {
 
     const auto ref_it = ref_.records().find(key);
     const MessageStats before = net_->stats();
-    const int expect_hops = ref_.RouteHops(from, dht_key);
+    const uint64_t seq_before = net_->fault_plan().seq();
+    const uint64_t target = ref_.Responsible(dht_key);
+    const FaultType fault = PeekFault(from, target);
     auto value = net_->GetValue(from, dht_key, key);
+    CheckSeqAdvanced(seq_before, "get");
+    if (fault != FaultType::kNone) {
+      CHECK(!value.ok())
+          << "step " << step_ << ": get delivered despite a predicted "
+          << FaultTypeName(fault);
+      CheckFaultedOp(value.status(), fault, target, before, "faulted get");
+      ReconcileCrashes();
+      ++ops_;
+      return;
+    }
+    const int expect_hops = ref_.RouteHops(from, dht_key);
     if (ref_it != ref_.records().end()) {
       CHECK_OK(value) << "step " << step_
                       << ": live reference record not retrievable: " << key;
@@ -421,10 +562,24 @@ class DifferentialSim {
     const uint64_t from = ref_.RandomMember(rng_);
     const uint64_t key = rng_.Next();
     const MessageStats before = net_->stats();
-    const int expect_hops = ref_.RouteHops(from, key);
+    const uint64_t seq_before = net_->fault_plan().seq();
+    const uint64_t target = ref_.Responsible(key);
+    const FaultType fault = PeekFault(from, target);
     auto result = net_->Lookup(from, key, 7);
+    CheckSeqAdvanced(seq_before, "lookup");
+    if (fault != FaultType::kNone) {
+      CHECK(!result.ok())
+          << "step " << step_ << ": lookup delivered despite a predicted "
+          << FaultTypeName(fault);
+      CheckFaultedOp(result.status(), fault, target, before,
+                     "faulted lookup");
+      ReconcileCrashes();
+      ++ops_;
+      return;
+    }
+    const int expect_hops = ref_.RouteHops(from, key);
     CHECK_OK(result) << "step " << step_ << ": lookup";
-    CHECK_EQ(result->node, ref_.Responsible(key))
+    CHECK_EQ(result->node, target)
         << "step " << step_ << ": lookup resolved the wrong node";
     CHECK_EQ(result->hops, expect_hops)
         << "step " << step_ << ": hop count diverges from the cache-free "
@@ -442,11 +597,84 @@ class DifferentialSim {
       batch.push_back(item_hasher_.HashU64(next_item_++));
     }
     const MessageStats before = net_->stats();
-    CHECK_OK(client_->InsertBatch(ref_.RandomMember(rng_), metric, batch,
-                                  rng_))
-        << "step " << step_ << ": insert batch";
-    CHECK_GE(net_->stats().messages, before.messages)
-        << "step " << step_ << ": stats went backwards";
+    auto inserted =
+        client_->InsertBatch(ref_.RandomMember(rng_), metric, batch, rng_);
+    ReconcileCrashes();
+    if (!inserted.ok()) {
+      // Only a fault-injected transient failure may surface, and only
+      // when every bit group failed (partial failure degrades instead).
+      CHECK(faults_enabled_ && IsTransientFault(inserted.status()))
+          << "step " << step_ << ": insert batch: "
+          << inserted.status().ToString();
+      ++ops_;
+      return;
+    }
+    // The client's books must match the network's exactly: every issued
+    // message — delivered, dropped, timed out, or crashed into — is one
+    // dht_lookup or direct_probe, and only delivered ones move bits.
+    const MessageStats& after = net_->stats();
+    CHECK_EQ(after.messages - before.messages,
+             static_cast<uint64_t>(inserted->dht_lookups +
+                                   inserted->direct_probes))
+        << "step " << step_ << ": insert message accounting";
+    CHECK_EQ(after.hops - before.hops,
+             static_cast<uint64_t>(inserted->hops))
+        << "step " << step_ << ": insert hop accounting";
+    CHECK_EQ(after.bytes - before.bytes, inserted->bytes)
+        << "step " << step_ << ": insert byte accounting";
+    CHECK_LE(inserted->replicas_written, inserted->replicas_requested)
+        << "step " << step_ << ": wrote more replicas than requested";
+    if (!faults_enabled_) {
+      CHECK_EQ(inserted->retries, 0)
+          << "step " << step_ << ": retries without fault injection";
+      CHECK_EQ(inserted->bit_groups_failed, 0)
+          << "step " << step_ << ": failed bit groups without faults";
+    }
+    ++ops_;
+  }
+
+  /// Runs a count with fault injection live (unlike the paused global
+  /// scan check) and validates the degraded-result contract: exact cost
+  /// accounting, and degradation reported iff faults actually applied.
+  void DoFaultyCount() {
+    if (next_item_ == 0) return;
+    const uint64_t metric = 1 + rng_.UniformU64(2);
+    const MessageStats before = net_->stats();
+    const uint64_t applied_before = net_->fault_plan().stats().Applied();
+    auto result = client_->Count(ref_.RandomMember(rng_), metric, rng_);
+    ReconcileCrashes();
+    CHECK_OK(result)
+        << "step " << step_
+        << ": a count under faults must degrade, never error";
+    const MessageStats& after = net_->stats();
+    CHECK_EQ(after.messages - before.messages,
+             static_cast<uint64_t>(result->cost.dht_lookups +
+                                   result->cost.direct_probes))
+        << "step " << step_ << ": faulty count message accounting";
+    CHECK_EQ(after.hops - before.hops,
+             static_cast<uint64_t>(result->cost.hops))
+        << "step " << step_ << ": faulty count hop accounting";
+    CHECK_EQ(after.bytes - before.bytes, result->cost.bytes)
+        << "step " << step_ << ": faulty count byte accounting";
+    const uint64_t applied =
+        net_->fault_plan().stats().Applied() - applied_before;
+    // Every retry is a response to an applied fault, and a clean run
+    // must report itself clean.
+    CHECK_LE(static_cast<uint64_t>(result->cost.retries), applied)
+        << "step " << step_ << ": more retries than applied faults";
+    if (applied == 0) {
+      CHECK(result->cost.retries == 0 && result->cost.failed_probes == 0 &&
+            !result->gave_up)
+          << "step " << step_
+          << ": degradation reported on a fault-free count";
+    }
+    if (result->gave_up) {
+      CHECK_GT(result->bitmaps_unresolved, 0)
+          << "step " << step_ << ": gave_up with no unresolved bitmaps";
+    } else {
+      CHECK_EQ(result->bitmaps_unresolved, 0)
+          << "step " << step_ << ": unresolved bitmaps without gave_up";
+    }
     ++ops_;
   }
 
@@ -491,6 +719,7 @@ class DifferentialSim {
   void CheckStoresAgainstReference() {
     // Every live reference record must be retrievable with its exact
     // value, and the network must hold no extra live raw records.
+    const PausedFaults paused(net_.get());
     const uint64_t from = ref_.RandomMember(rng_);
     for (const auto& [key, rec] : ref_.records()) {
       auto value = net_->GetValue(from, rec.dht_key, key);
@@ -512,6 +741,7 @@ class DifferentialSim {
 
   void CheckCountsAgainstGlobalScan() {
     if (next_item_ == 0) return;  // nothing inserted yet
+    const PausedFaults paused(net_.get());
     for (uint64_t metric : {uint64_t{1}, uint64_t{2}}) {
       const MessageStats before = net_->stats();
       auto result = client_->Count(ref_.RandomMember(rng_), metric, rng_);
@@ -543,25 +773,39 @@ class DifferentialSim {
     ++ops_;
   }
 
-  /// Rebuilds the per-bitmap observables from a scan over every store —
-  /// the ground truth the probe walk must reproduce.
+  /// Rebuilds the per-bitmap observables from a scan over every store a
+  /// counting walk can reach — the ground truth the probe walk must
+  /// reproduce. The universe of bit r is the walk's: the initial lookup
+  /// target plus ProbeCandidates over I_r (probe-key independent once
+  /// lim >= N). Stranded replica copies beyond that horizon are
+  /// unreachable by every client, so they are no ground truth either.
   std::vector<int> GlobalScanObservables(uint64_t metric) const {
     const int m = client_->config().m;
     const int min_bit = client_->mapping().MinBit();
     const int max_bit = client_->mapping().MaxBit();
-    // present[r][v]: a live tuple (metric, r, v) exists somewhere.
+    // present[r][v]: a live tuple (metric, r, v) is reachable.
     std::vector<std::vector<char>> present(
         static_cast<size_t>(max_bit + 1),
         std::vector<char>(static_cast<size_t>(m), 0));
-    for (uint64_t node : net_->NodeIds()) {
-      net_->StoreAt(node)->ForEachDhsMetric(
-          metric, net_->now(),
-          [&](const StoreKey& key, const StoreRecord&) {
-            if (key.bit() <= max_bit && key.vector_id() < m) {
-              present[static_cast<size_t>(key.bit())]
-                     [static_cast<size_t>(key.vector_id())] = 1;
-            }
-          });
+    for (int r = min_bit; r <= max_bit; ++r) {
+      auto interval = client_->mapping().IntervalForBit(r);
+      CHECK_OK(interval) << "step " << step_ << ": interval for bit " << r;
+      auto start = net_->ResponsibleNode(interval->lo);
+      CHECK_OK(start) << "step " << step_ << ": scan start for bit " << r;
+      std::vector<uint64_t> universe = net_->ProbeCandidates(
+          *interval, interval->lo, start.value(),
+          client_->config().lim - 1);
+      universe.push_back(start.value());
+      for (uint64_t node : universe) {
+        net_->StoreAt(node)->ForEachDhsMetric(
+            metric, net_->now(),
+            [&](const StoreKey& key, const StoreRecord&) {
+              if (key.bit() == r && key.vector_id() < m) {
+                present[static_cast<size_t>(r)]
+                       [static_cast<size_t>(key.vector_id())] = 1;
+              }
+            });
+      }
     }
     std::vector<int> observables(static_cast<size_t>(m));
     if (client_->config().estimator == DhsEstimator::kPcsa) {
@@ -624,6 +868,9 @@ class DifferentialSim {
   int step_ = 0;
   uint64_t ops_ = 0;
   uint64_t next_item_ = 0;
+  bool faults_enabled_ = false;
+  FaultConfig fault_cfg_;
+  size_t crash_log_seen_ = 0;
 };
 
 int Main(int argc, char** argv) {
@@ -653,15 +900,24 @@ int Main(int argc, char** argv) {
       options.schedules = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      options.faults.drop_probability = std::strtod(arg.c_str() + 7, nullptr);
+    } else if (arg.rfind("--timeout=", 0) == 0) {
+      options.faults.timeout_probability =
+          std::strtod(arg.c_str() + 10, nullptr);
+    } else if (arg.rfind("--crash=", 0) == 0) {
+      options.faults.crash_probability = std::strtod(arg.c_str() + 8, nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: audit_sim [--geometry=chord|kademlia|both] "
                    "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll] "
-                   "[--schedules=K] [--jobs=J]\n");
+                   "[--schedules=K] [--jobs=J] "
+                   "[--drop=P] [--timeout=P] [--crash=P]\n");
       return 2;
     }
   }
   if (options.schedules < 1) options.schedules = 1;
+  CHECK_OK(options.faults.Validate()) << "fault probabilities";
 
   std::vector<Geometry> geometries;
   if (both) {
