@@ -1,0 +1,252 @@
+// P3 — observability overhead guard (not a paper experiment).
+//
+// Times the two hot operations every experiment is built from — routed
+// Lookup and DhsClient::Insert — in three observability modes:
+//
+//   off       no tracer / no metrics attached (the seed configuration)
+//   disabled  tracer attached but set_enabled(false): the null-sink
+//             branch every call site pays when tracing is compiled in
+//   enabled   tracer + metrics registry recording everything
+//
+// The acceptance bar this repo holds (see ISSUE/DESIGN "Observability"):
+// `disabled` within 2% of `off` — attaching an idle tracer must cost
+// one predictable branch, nothing more. `enabled` is reported for
+// context only; it allocates and is expected to be slower.
+//
+// Writes BENCH_obs_overhead.json (override with DHS_OBS_JSON). Knobs:
+// DHS_OBS_NODES (default 1024), DHS_OBS_LOOKUPS, DHS_OBS_INSERTS.
+//
+// tests/obs/overhead_test.cc pins the allocation side of the same
+// contract (zero allocations on the disabled path); this binary is the
+// time side, tracked across PRs like BENCH_dht_core.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dhs {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ObsResult {
+  std::string op;
+  std::string mode;
+  long iters = 0;
+  double ns_per_op = 0.0;
+  uint64_t checksum = 0;
+};
+
+enum class Mode { kOff, kDisabled, kEnabled };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOff: return "off";
+    case Mode::kDisabled: return "disabled";
+    case Mode::kEnabled: return "enabled";
+  }
+  return "?";
+}
+
+double ElapsedNs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+}
+
+/// One mode's measurement world: fresh overlay + client so modes never
+/// share warmed caches unevenly; same seeds so they do identical work.
+struct World {
+  std::unique_ptr<ChordNetwork> net;
+  std::unique_ptr<DhsClient> client;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<MetricsRegistry> metrics;
+};
+
+World MakeWorld(int nodes, Mode mode) {
+  World world;
+  world.net = MakeNetwork(nodes, 1);
+  if (mode != Mode::kOff) {
+    world.tracer = std::make_unique<Tracer>();
+    world.tracer->set_enabled(mode == Mode::kEnabled);
+    world.net->AttachTracer(world.tracer.get());
+    if (mode == Mode::kEnabled) {
+      world.metrics = std::make_unique<MetricsRegistry>();
+      world.net->AttachMetrics(world.metrics.get());
+    }
+  }
+  DhsConfig config;
+  config.k = 24;
+  config.m = 64;
+  auto client = DhsClient::Create(world.net.get(), config);
+  if (!client.ok()) {
+    std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+    std::exit(1);
+  }
+  world.client = std::make_unique<DhsClient>(std::move(client.value()));
+  return world;
+}
+
+ObsResult BenchLookup(World& world, Mode mode, long iters) {
+  const std::vector<uint64_t> ids = world.net->NodeIds();
+  Rng warm(771);
+  for (long i = 0; i < 1000; ++i) {
+    (void)world.net->Lookup(ids[warm.UniformU64(ids.size())], warm.Next(),
+                            16);
+  }
+  Rng rng(2024);
+  std::vector<uint64_t> froms(static_cast<size_t>(iters));
+  std::vector<uint64_t> keys(static_cast<size_t>(iters));
+  for (long i = 0; i < iters; ++i) {
+    froms[static_cast<size_t>(i)] = ids[rng.UniformU64(ids.size())];
+    keys[static_cast<size_t>(i)] = rng.Next();
+  }
+  // Repeat the whole pass and keep the fastest: the minimum is the
+  // noise-robust estimator for a deterministic workload (anything
+  // above it is scheduler/cache interference, not the code).
+  const int repeats = EnvInt("DHS_OBS_REPEATS", 5);
+  uint64_t checksum = 0;
+  double best_ns = 0.0;
+  for (int pass = 0; pass < repeats; ++pass) {
+    if (world.tracer != nullptr) world.tracer->Clear();
+    uint64_t pass_checksum = 0;
+    const auto t0 = Clock::now();
+    for (long i = 0; i < iters; ++i) {
+      auto result = world.net->Lookup(froms[static_cast<size_t>(i)],
+                                      keys[static_cast<size_t>(i)], 16);
+      if (result.ok()) pass_checksum ^= result->node + result->hops;
+    }
+    const double ns = ElapsedNs(t0);
+    if (pass == 0 || ns < best_ns) best_ns = ns;
+    checksum = pass_checksum;
+  }
+  return {"lookup", ModeName(mode), iters,
+          best_ns / static_cast<double>(iters), checksum};
+}
+
+ObsResult BenchInsert(World& world, Mode mode, long iters) {
+  Rng rng(4242);
+  std::vector<uint64_t> origins(static_cast<size_t>(iters));
+  std::vector<uint64_t> items(static_cast<size_t>(iters));
+  for (long i = 0; i < iters; ++i) {
+    origins[static_cast<size_t>(i)] = world.net->RandomNode(rng);
+    items[static_cast<size_t>(i)] = rng.Next();
+  }
+  // Min-of-repeats, as in BenchLookup. Re-inserting the same items is
+  // idempotent store traffic, so passes do identical routing work; the
+  // per-pass rng only drives replica placement and is re-seeded so
+  // every pass draws the same stream.
+  const int repeats = EnvInt("DHS_OBS_REPEATS", 5);
+  uint64_t checksum = 0;
+  double best_ns = 0.0;
+  for (int pass = 0; pass < repeats; ++pass) {
+    if (world.tracer != nullptr) world.tracer->Clear();
+    Rng pass_rng(7);
+    uint64_t pass_checksum = 0;
+    const auto t0 = Clock::now();
+    for (long i = 0; i < iters; ++i) {
+      auto cost = world.client->Insert(origins[static_cast<size_t>(i)], 1,
+                                       items[static_cast<size_t>(i)],
+                                       pass_rng);
+      if (cost.ok()) pass_checksum += static_cast<uint64_t>(cost->hops);
+    }
+    const double ns = ElapsedNs(t0);
+    if (pass == 0 || ns < best_ns) best_ns = ns;
+    checksum = pass_checksum;
+  }
+  return {"insert", ModeName(mode), iters,
+          best_ns / static_cast<double>(iters), checksum};
+}
+
+bool WriteJson(const std::string& path, const std::vector<ObsResult>& results,
+               double lookup_overhead_pct, double insert_overhead_pct) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"obs_overhead\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ObsResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"mode\": \"%s\", \"iters\": %ld, "
+                 "\"ns_per_op\": %.1f, \"checksum\": %llu}%s\n",
+                 r.op.c_str(), r.mode.c_str(), r.iters, r.ns_per_op,
+                 static_cast<unsigned long long>(r.checksum),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"disabled_overhead_pct\": "
+               "{\"lookup\": %.2f, \"insert\": %.2f}\n}\n",
+               lookup_overhead_pct, insert_overhead_pct);
+  std::fclose(f);
+  return true;
+}
+
+double OverheadPct(double base_ns, double measured_ns) {
+  return base_ns <= 0.0 ? 0.0 : (measured_ns / base_ns - 1.0) * 100.0;
+}
+
+void Run() {
+  const int nodes = EnvInt("DHS_OBS_NODES", 1024);
+  const long lookups = EnvInt("DHS_OBS_LOOKUPS", 20000);
+  const long inserts = EnvInt("DHS_OBS_INSERTS", 5000);
+  // Read before any worker thread exists; nothing calls setenv.
+  const char* json_env = std::getenv("DHS_OBS_JSON");  // NOLINT(concurrency-mt-unsafe)
+  const std::string json_path = json_env != nullptr && json_env[0] != '\0'
+                                    ? json_env
+                                    : "BENCH_obs_overhead.json";
+
+  PrintHeader("P3: observability overhead (off / disabled / enabled)",
+              "nodes=" + std::to_string(nodes) +
+                  ", lookups=" + std::to_string(lookups) +
+                  ", inserts=" + std::to_string(inserts));
+  PrintRow({"op", "mode", "iters", "ns/op", "checksum"});
+
+  std::vector<ObsResult> results;
+  for (Mode mode : {Mode::kOff, Mode::kDisabled, Mode::kEnabled}) {
+    World world = MakeWorld(nodes, mode);
+    results.push_back(BenchLookup(world, mode, lookups));
+    results.push_back(BenchInsert(world, mode, inserts));
+    for (size_t i = results.size() - 2; i < results.size(); ++i) {
+      const ObsResult& r = results[i];
+      PrintRow({r.op, r.mode, std::to_string(r.iters),
+                FormatDouble(r.ns_per_op, 1), std::to_string(r.checksum)});
+    }
+  }
+  // results layout: [lookup/off, insert/off, lookup/disabled,
+  // insert/disabled, lookup/enabled, insert/enabled].
+  const double lookup_pct =
+      OverheadPct(results[0].ns_per_op, results[2].ns_per_op);
+  const double insert_pct =
+      OverheadPct(results[1].ns_per_op, results[3].ns_per_op);
+  std::printf("disabled-vs-off overhead: lookup %+.2f%%, insert %+.2f%%\n",
+              lookup_pct, insert_pct);
+  // Identical work across modes: checksums must agree pairwise, or the
+  // timing comparison is comparing different routing.
+  if (results[0].checksum != results[2].checksum ||
+      results[0].checksum != results[4].checksum ||
+      results[1].checksum != results[3].checksum ||
+      results[1].checksum != results[5].checksum) {
+    std::fprintf(stderr, "checksum mismatch across modes\n");
+    std::exit(1);
+  }
+  if (WriteJson(json_path, results, lookup_pct, insert_pct)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dhs
+
+int main() {
+  dhs::bench::Run();
+  return 0;
+}

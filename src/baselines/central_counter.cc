@@ -48,6 +48,11 @@ StatusOr<uint64_t> CentralCounter::CounterNode() const {
 }
 
 Status CentralCounter::Add(uint64_t origin_node, uint64_t item_hash) {
+  ScopedSpan span(network_->tracer(), "central_add");
+  if (MetricsRegistry* mr = network_->metrics(); mr != nullptr) {
+    mr->GetCounter("baseline_ops_total", {{"op", "central_add"}})
+        ->Increment();
+  }
   const size_t payload = 8;
   auto lookup = network_->Lookup(origin_node, metric_id_, payload);
   if (!lookup.ok()) return lookup.status();
@@ -69,6 +74,11 @@ Status CentralCounter::Add(uint64_t origin_node, uint64_t item_hash) {
 }
 
 StatusOr<double> CentralCounter::Read(uint64_t origin_node) {
+  ScopedSpan span(network_->tracer(), "central_read");
+  if (MetricsRegistry* mr = network_->metrics(); mr != nullptr) {
+    mr->GetCounter("baseline_ops_total", {{"op", "central_read"}})
+        ->Increment();
+  }
   auto lookup = network_->Lookup(origin_node, metric_id_, 8);
   if (!lookup.ok()) return lookup.status();
   NodeStore* store = network_->StoreAt(lookup->node);

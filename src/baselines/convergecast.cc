@@ -32,6 +32,11 @@ StatusOr<ConvergecastAggregator::Result> ConvergecastAggregator::Count(
   if (!network_->Contains(origin_node)) {
     return Status::InvalidArgument("origin is not a live node");
   }
+  ScopedSpan span(network_->tracer(), "convergecast");
+  if (MetricsRegistry* mr = network_->metrics(); mr != nullptr) {
+    mr->GetCounter("baseline_ops_total", {{"op", "convergecast"}})
+        ->Increment();
+  }
   const std::vector<uint64_t> nodes = network_->NodeIds();
   const IdSpace& space = network_->space();
 

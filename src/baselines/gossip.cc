@@ -21,6 +21,11 @@ StatusOr<GossipResult> PushSumGossip::Run(uint64_t origin_node,
   if (!network_->Contains(origin_node)) {
     return Status::InvalidArgument("origin is not a live node");
   }
+  ScopedSpan span(network_->tracer(), "gossip_push_sum");
+  if (MetricsRegistry* mr = network_->metrics(); mr != nullptr) {
+    mr->GetCounter("baseline_ops_total", {{"op", "gossip_push_sum"}})
+        ->Increment();
+  }
 
   // Push-sum state: sum_i value_i converges to the global sum when read
   // as value/weight at the node holding weight mass.
@@ -100,6 +105,7 @@ StatusOr<GossipResult> PushSumGossip::Run(uint64_t origin_node,
   }
   result.converged_fraction =
       static_cast<double>(converged) / static_cast<double>(nodes.size());
+  if (span.active()) span.Arg(TraceArg::I64("rounds", result.rounds));
   return result;
 }
 
@@ -117,6 +123,11 @@ StatusOr<GossipResult> SketchGossip::Run(uint64_t origin_node, int rounds,
   if (nodes.empty()) return Status::FailedPrecondition("empty network");
   if (!network_->Contains(origin_node)) {
     return Status::InvalidArgument("origin is not a live node");
+  }
+  ScopedSpan span(network_->tracer(), "gossip_sketch");
+  if (MetricsRegistry* mr = network_->metrics(); mr != nullptr) {
+    mr->GetCounter("baseline_ops_total", {{"op", "gossip_sketch"}})
+        ->Increment();
   }
 
   std::unordered_map<uint64_t, PcsaSketch> sketches;

@@ -16,6 +16,11 @@ StatusOr<SamplingEstimator::Result> SamplingEstimator::EstimateTotal(
   if (sample_size < 1) {
     return Status::InvalidArgument("sample_size must be >= 1");
   }
+  ScopedSpan span(network_->tracer(), "sampling");
+  if (span.active()) span.Arg(TraceArg::I64("sample_size", sample_size));
+  if (MetricsRegistry* mr = network_->metrics(); mr != nullptr) {
+    mr->GetCounter("baseline_ops_total", {{"op", "sampling"}})->Increment();
+  }
   const IdSpace& space = network_->space();
   // 2^L as a double (exact for L = 64 in double's exponent range).
   const double space_size = std::ldexp(1.0, space.bits());

@@ -47,6 +47,75 @@ DhsPlacement DhsClient::PlaceItem(uint64_t item_hash) const {
 // list dry.
 constexpr int kReplicaSlack = 2;
 
+namespace {
+
+// Indexed by DhsClient::OpIndex.
+constexpr const char* kOpNames[] = {"insert", "insert_batch", "count"};
+
+/// Records a retry instant inside the enclosing span (no-op when
+/// tracing is off).
+void TraceRetry(DhtNetwork* network, const char* what, int attempt) {
+  Tracer* tracer = network->tracer();
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer->Instant("retry", {TraceArg::Str("what", what),
+                            TraceArg::I64("attempt", attempt)});
+}
+
+}  // namespace
+
+const DhsClient::OpMetrics* DhsClient::MetricsFor(OpIndex op) {
+  MetricsRegistry* registry = network_->metrics();
+  if (registry == nullptr) return nullptr;
+  if (registry != metrics_cached_) {
+    for (int i = 0; i < kNumOps; ++i) {
+      const MetricLabels labels = {
+          {"op", kOpNames[i]},
+          {"geometry", network_->GeometryName()},
+          {"estimator", DhsEstimatorName(config_.estimator)}};
+      OpMetrics& m = op_metrics_[i];
+      m.ops = registry->GetCounter("dhs_ops_total", labels);
+      m.errors = registry->GetCounter("dhs_op_errors_total", labels);
+      // Counting sweeps the whole bit range, so per-op hop and byte
+      // totals reach well beyond a single O(log N) route.
+      m.hops = registry->GetHistogram(
+          "dhs_op_hops", {4, 16, 64, 256, 1024, 4096}, labels);
+      m.bytes = registry->GetHistogram(
+          "dhs_op_bytes", {64, 256, 1024, 4096, 16384, 65536}, labels);
+      m.retries = registry->GetCounter("dhs_op_retries_total", labels);
+      m.failed_probes =
+          registry->GetCounter("dhs_op_failed_probes_total", labels);
+    }
+    metrics_cached_ = registry;
+  }
+  return &op_metrics_[op];
+}
+
+void DhsClient::FinishOp(ScopedSpan& span, OpIndex op,
+                         const DhsCostReport& cost, bool ok) {
+  if (span.active()) {
+    span.Arg(TraceArg::Str("op", kOpNames[op]));
+    span.Arg(TraceArg::Bool("ok", ok));
+    span.Arg(TraceArg::I64("nodes_visited", cost.nodes_visited));
+    span.Arg(TraceArg::I64("op_hops", cost.hops));
+    span.Arg(TraceArg::U64("op_bytes", cost.bytes));
+    span.Arg(TraceArg::I64("dht_lookups", cost.dht_lookups));
+    span.Arg(TraceArg::I64("direct_probes", cost.direct_probes));
+    span.Arg(TraceArg::I64("retries", cost.retries));
+    span.Arg(TraceArg::I64("failed_probes", cost.failed_probes));
+    span.Arg(TraceArg::I64("replicas_requested", cost.replicas_requested));
+    span.Arg(TraceArg::I64("replicas_written", cost.replicas_written));
+    span.Arg(TraceArg::I64("bit_groups_failed", cost.bit_groups_failed));
+  }
+  const OpMetrics* m = MetricsFor(op);
+  if (m == nullptr) return;
+  m->ops->Increment();
+  if (!ok) m->errors->Increment();
+  m->hops->Observe(cost.hops);
+  m->bytes->Observe(static_cast<double>(cost.bytes));
+  m->retries->Increment(static_cast<uint64_t>(cost.retries));
+  m->failed_probes->Increment(static_cast<uint64_t>(cost.failed_probes));
+}
+
 StatusOr<LookupResult> DhsClient::LookupWithRetry(uint64_t origin_node,
                                                   uint64_t key,
                                                   size_t payload_bytes,
@@ -63,6 +132,7 @@ StatusOr<LookupResult> DhsClient::LookupWithRetry(uint64_t origin_node,
     cost->dht_lookups += 1;  // issued and charged, then lost in flight
     if (attempt + 1 >= config_.retry_attempts) return lookup.status();
     cost->retries += 1;
+    TraceRetry(network_, "lookup", attempt + 1);
     if (config_.retry_backoff_ticks > 0) {
       network_->AdvanceClock(config_.retry_backoff_ticks << attempt);
     }
@@ -86,6 +156,7 @@ Status DhsClient::DirectHopWithRetry(uint64_t from_node, uint64_t to_node,
     cost->direct_probes += 1;  // issued and charged, then lost in flight
     if (attempt + 1 >= config_.retry_attempts) return hop;
     cost->retries += 1;
+    TraceRetry(network_, "direct_hop", attempt + 1);
     if (config_.retry_backoff_ticks > 0) {
       network_->AdvanceClock(config_.retry_backoff_ticks << attempt);
     }
@@ -97,6 +168,12 @@ Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
                              Rng& rng, DhsCostReport* cost) {
   auto interval = mapping_.IntervalForBit(bit);
   if (!interval.ok()) return interval.status();
+
+  ScopedSpan span(network_->tracer(), "store_bit");
+  if (span.active()) {
+    span.Arg(TraceArg::I64("bit", bit));
+    span.Arg(TraceArg::U64("vectors", vector_ids.size()));
+  }
 
   const uint64_t target_key = mapping_.RandomIdIn(*interval, rng);
   const size_t payload = config_.TupleBytes() * vector_ids.size();
@@ -158,15 +235,19 @@ void DhsClient::MaybeAudit() const {
 StatusOr<DhsCostReport> DhsClient::Insert(uint64_t origin_node,
                                           uint64_t metric_id,
                                           uint64_t item_hash, Rng& rng) {
+  ScopedSpan span(network_->tracer(), "insert");
+  if (span.active()) span.Arg(TraceArg::U64("metric", metric_id));
   const DhsPlacement placement = PlaceItem(item_hash);
   DhsCostReport cost;
   if (placement.rho < config_.shift_bits) {
     // Bit-shift rule: the lowest shift_bits positions are assumed set.
+    FinishOp(span, kOpInsert, cost, /*ok=*/true);
     return cost;
   }
   Status s = StoreTuple(origin_node, metric_id, placement.rho,
                         {placement.vector_id}, rng, &cost);
   MaybeAudit();
+  FinishOp(span, kOpInsert, cost, s.ok());
   if (!s.ok()) return s;
   return cost;
 }
@@ -176,6 +257,11 @@ StatusOr<DhsCostReport> DhsClient::InsertBatch(
     const std::vector<uint64_t>& item_hashes, Rng& rng) {
   if (!network_->Contains(origin_node)) {
     return Status::InvalidArgument("origin is not a live node");
+  }
+  ScopedSpan span(network_->tracer(), "insert_batch");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("metric", metric_id));
+    span.Arg(TraceArg::U64("items", item_hashes.size()));
   }
   // §3.2 bulk insertion: group by bit position r; one message per r
   // carries all (deduplicated) vector updates for that position.
@@ -199,8 +285,10 @@ StatusOr<DhsCostReport> DhsClient::InsertBatch(
     }
   }
   MaybeAudit();
-  if (!first_failure.ok() &&
-      cost.bit_groups_failed == static_cast<int>(by_bit.size())) {
+  const bool all_failed = !first_failure.ok() &&
+      cost.bit_groups_failed == static_cast<int>(by_bit.size());
+  FinishOp(span, kOpInsertBatch, cost, !all_failed);
+  if (all_failed) {
     return first_failure;  // nothing was stored
   }
   return cost;
@@ -258,6 +346,12 @@ Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
   const IdInterval interval = *interval_or;
   const int lim = LimForBit(bit);
 
+  ScopedSpan span(network_->tracer(), "probe_interval");
+  if (span.active()) {
+    span.Arg(TraceArg::I64("bit", bit));
+    span.Arg(TraceArg::I64("lim", lim));
+  }
+
   // Initial random probe into the interval, routed via the DHT.
   const uint64_t target_key = mapping_.RandomIdIn(interval, rng);
   const size_t request = config_.ProbeRequestBytes();
@@ -268,6 +362,7 @@ Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
       // abandon it and let the count continue degraded (reported via
       // gave_up / bitmaps_unresolved, never as silent bias).
       *abandoned = true;
+      span.Arg(TraceArg::Bool("abandoned", true));
       return Status::OK();
     }
     return lookup.status();
@@ -325,12 +420,24 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
   if (!network_->Contains(origin_node)) {
     return Status::InvalidArgument("origin is not a live node");
   }
+  ScopedSpan span(network_->tracer(), "count");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("metrics", metric_ids.size()));
+  }
   // sLL and HLL share the max-rho (high -> low) scan; PCSA scans for the
   // leftmost zero (low -> high).
   auto result = config_.estimator == DhsEstimator::kPcsa
                     ? CountManyPcsa(origin_node, metric_ids, rng)
                     : CountManySll(origin_node, metric_ids, rng);
   MaybeAudit();
+  if (result.ok()) {
+    if (span.active()) {
+      span.Arg(TraceArg::Bool("gave_up", result->gave_up));
+    }
+    FinishOp(span, kOpCount, result->cost, /*ok=*/true);
+  } else {
+    FinishOp(span, kOpCount, DhsCostReport{}, /*ok=*/false);
+  }
   return result;
 }
 

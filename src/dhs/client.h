@@ -91,6 +91,11 @@ class DhsClient {
   const DhsConfig& config() const { return config_; }
   const BitMapping& mapping() const { return mapping_; }
 
+  /// The overlay this client acts through (never null). Observability
+  /// riders (DhsMaintainer, the baselines, tools) reach the attached
+  /// tracer / metrics registry through it.
+  DhtNetwork* network() const { return network_; }
+
   /// Splits an item hash into (vector_id, rho) using the k low-order bits
   /// of the hash: vector = lsb_k(h) mod m, rho = rho(lsb_k(h) div m).
   DhsPlacement PlaceItem(uint64_t item_hash) const;
@@ -209,10 +214,35 @@ class DhsClient {
       uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
       Rng& rng);
 
+  /// Client-level op instruments, one set per root operation.
+  enum OpIndex { kOpInsert = 0, kOpInsertBatch, kOpCount, kNumOps };
+  struct OpMetrics {
+    Counter* ops = nullptr;
+    Counter* errors = nullptr;
+    Histogram* hops = nullptr;
+    Histogram* bytes = nullptr;
+    Counter* retries = nullptr;
+    Counter* failed_probes = nullptr;
+  };
+
+  /// Instruments for op `op`, interned lazily against the registry
+  /// currently attached to the network (re-interned when the registry
+  /// changes); nullptr when none is attached.
+  const OpMetrics* MetricsFor(OpIndex op);
+
+  /// Closes out a root op: annotates `span` with every DhsCostReport
+  /// field and records the op's metrics. Call on every exit path.
+  void FinishOp(ScopedSpan& span, OpIndex op, const DhsCostReport& cost,
+                bool ok);
+
   DhtNetwork* network_;
   DhsConfig config_;
   BitMapping mapping_;
   int space_bits_cached_ = 64;  // L, for eq. 6 density computations
+
+  /// Registry the cached op instruments were interned against.
+  MetricsRegistry* metrics_cached_ = nullptr;
+  OpMetrics op_metrics_[kNumOps];
 };
 
 }  // namespace dhs

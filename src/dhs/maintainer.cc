@@ -27,6 +27,9 @@ void DhsMaintainer::UnregisterItem(uint64_t node, uint64_t metric,
 void DhsMaintainer::DropNode(uint64_t node) { registry_.erase(node); }
 
 StatusOr<size_t> DhsMaintainer::RefreshRound(Rng& rng) {
+  // The refresh round is one root span; the per-(node, metric) batches
+  // nest as the client's own insert_batch spans.
+  ScopedSpan span(client_->network()->tracer(), "refresh_round");
   size_t rounds = 0;
   std::vector<uint64_t> batch;
   for (const auto& [node, metrics] : registry_) {
@@ -41,6 +44,15 @@ StatusOr<size_t> DhsMaintainer::RefreshRound(Rng& rng) {
       }
       ++rounds;
     }
+  }
+  if (span.active()) {
+    span.Arg(TraceArg::U64("batches", rounds));
+  }
+  if (MetricsRegistry* registry = client_->network()->metrics();
+      registry != nullptr) {
+    registry->GetCounter("dhs_refresh_rounds_total")->Increment();
+    registry->GetCounter("dhs_refresh_batches_total")
+        ->Increment(static_cast<uint64_t>(rounds));
   }
   return rounds;
 }

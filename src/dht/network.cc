@@ -150,6 +150,37 @@ size_t DhtNetwork::CountNodesInRange(uint64_t lo, uint64_t hi) const {
   return (ring_.size() - at(lo)) + at(hi);
 }
 
+void DhtNetwork::AttachTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) tracer_->Bind(&stats_, &now_);
+}
+
+void DhtNetwork::AttachMetrics(MetricsRegistry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    m_lookups_ = nullptr;
+    m_direct_hops_ = nullptr;
+    m_fault_drops_ = nullptr;
+    m_fault_timeouts_ = nullptr;
+    m_fault_crashes_ = nullptr;
+    m_lookup_hops_ = nullptr;
+    return;
+  }
+  const MetricLabels labels = {{"geometry", GeometryName()}};
+  m_lookups_ = registry->GetCounter("dht_lookups_total", labels);
+  m_direct_hops_ = registry->GetCounter("dht_direct_hops_total", labels);
+  m_fault_drops_ = registry->GetCounter(
+      "dht_faults_total", {{"geometry", GeometryName()}, {"kind", "drop"}});
+  m_fault_timeouts_ = registry->GetCounter(
+      "dht_faults_total", {{"geometry", GeometryName()}, {"kind", "timeout"}});
+  m_fault_crashes_ = registry->GetCounter(
+      "dht_faults_total", {{"geometry", GeometryName()}, {"kind", "crash"}});
+  // Bounds follow the O(log N) routing expectation: sub-hop buckets
+  // catch origin-responsible lookups, the tail catches routing bugs.
+  m_lookup_hops_ = registry->GetHistogram(
+      "dht_lookup_hops", {0, 1, 2, 4, 8, 16, 32, 64}, labels);
+}
+
 Status DhtNetwork::SetFaultPlan(const FaultConfig& fault_config) {
   Status s = fault_config.Validate();
   if (!s.ok()) return s;
@@ -167,13 +198,22 @@ Status DhtNetwork::InjectFault(uint64_t from_node, uint64_t target_node) {
   // endpoints imply a survivor).
   if (target_node == from_node) return Status::OK();
   fault_plan_.RecordApplied(decision);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant("fault",
+                     {TraceArg::Str("kind", FaultTypeName(decision)),
+                      TraceArg::U64("from", from_node),
+                      TraceArg::U64("target", target_node)});
+  }
   switch (decision) {
     case FaultType::kDrop:
+      if (m_fault_drops_ != nullptr) m_fault_drops_->Increment();
       return Status::Unavailable("message dropped (fault injection)");
     case FaultType::kTimeout:
+      if (m_fault_timeouts_ != nullptr) m_fault_timeouts_->Increment();
       return Status::DeadlineExceeded(
           "message timed out (fault injection)");
     case FaultType::kCrash:
+      if (m_fault_crashes_ != nullptr) m_fault_crashes_->Increment();
       crash_log_.push_back(target_node);
       CHECK_OK(FailNode(target_node)) << "crashing a live target";
       return Status::Unavailable("target node crashed (fault injection)");
@@ -191,6 +231,15 @@ StatusOr<LookupResult> DhtNetwork::Lookup(uint64_t from_node, uint64_t key,
   if (origin == ring_.end() || *origin != from_node) {
     return Status::InvalidArgument("lookup origin is not a live node");
   }
+
+  // The span opens before the message charge so its stats delta covers
+  // the whole operation, faulted or not.
+  ScopedSpan span(tracer_, "lookup");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("from", from_node));
+    span.Arg(TraceArg::U64("key", key));
+  }
+  if (m_lookups_ != nullptr) m_lookups_->Increment();
 
   stats_.messages += 1;
   if (fault_plan_.active()) {
@@ -211,7 +260,15 @@ StatusOr<LookupResult> DhtNetwork::Lookup(uint64_t from_node, uint64_t key,
     if (next_idx == cur_idx) {
       result.node = ring_[cur_idx];
       loads_[cur_idx].served += 1;
+      if (span.active()) {
+        span.Arg(TraceArg::U64("node", result.node));
+      }
+      if (m_lookup_hops_ != nullptr) m_lookup_hops_->Observe(result.hops);
       return result;
+    }
+    if (span.active()) {
+      span.tracer()->Instant("hop", {TraceArg::U64("from", ring_[cur_idx]),
+                                     TraceArg::U64("to", ring_[next_idx])});
     }
     loads_[cur_idx].routed += 1;
     cur_idx = next_idx;
@@ -229,6 +286,12 @@ Status DhtNetwork::DirectHop(uint64_t from_node, uint64_t to_node,
   if (nodes_.count(from_node) == 0 || nodes_.count(to_node) == 0) {
     return Status::InvalidArgument("direct hop between unknown nodes");
   }
+  ScopedSpan span(tracer_, "direct_hop");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("from", from_node));
+    span.Arg(TraceArg::U64("to", to_node));
+  }
+  if (m_direct_hops_ != nullptr) m_direct_hops_->Increment();
   stats_.messages += 1;
   if (fault_plan_.active()) {
     Status fault = InjectFault(from_node, to_node);
@@ -245,6 +308,7 @@ Status DhtNetwork::DirectHop(uint64_t from_node, uint64_t to_node,
 StatusOr<uint64_t> DhtNetwork::Put(uint64_t from_node, uint64_t dht_key,
                                    StoreKey app_key, std::string value,
                                    uint64_t ttl_ticks) {
+  ScopedSpan span(tracer_, "put");
   const size_t payload = app_key.SizeBytes() + value.size();
   auto lookup = Lookup(from_node, dht_key, payload);
   if (!lookup.ok()) return lookup.status();
@@ -260,6 +324,7 @@ StatusOr<uint64_t> DhtNetwork::Put(uint64_t from_node, uint64_t dht_key,
 StatusOr<std::string> DhtNetwork::GetValue(uint64_t from_node,
                                            uint64_t dht_key,
                                            const StoreKey& app_key) {
+  ScopedSpan span(tracer_, "get");
   auto lookup = Lookup(from_node, dht_key, app_key.SizeBytes());
   if (!lookup.ok()) return lookup.status();
   const StoreRecord* rec = nodes_.at(lookup->node).Get(app_key, now_);

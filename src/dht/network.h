@@ -46,6 +46,8 @@
 #include "dht/stats.h"
 #include "dht/store.h"
 #include "hashing/hasher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dhs {
 
@@ -219,6 +221,22 @@ class DhtNetwork : private ThreadHostile {
   /// multi-message client call.
   const std::vector<uint64_t>& crash_log() const { return crash_log_; }
 
+  // ---- Observability ------------------------------------------------------
+
+  /// Attaches a tracer (nullptr detaches). The network binds it to its
+  /// own stats counters and virtual clock, and every routed operation
+  /// then records spans (lookup/direct_hop/put/get) and instants
+  /// (per-routing-hop, fault injections). Off by default; a detached or
+  /// disabled tracer costs one branch per operation.
+  void AttachTracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a metrics registry (nullptr detaches). The network
+  /// interns its instrument series once here — labelled by geometry —
+  /// and each operation afterwards pays a pointer test plus an add.
+  void AttachMetrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
+
   // ---- Cost accounting ----------------------------------------------------
 
   const MessageStats& stats() const { return stats_; }
@@ -319,6 +337,16 @@ class DhtNetwork : private ThreadHostile {
 
   FaultPlan fault_plan_;
   std::vector<uint64_t> crash_log_;  // fault-crashed nodes, in order
+
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  // Instrument pointers interned at AttachMetrics (null when detached).
+  Counter* m_lookups_ = nullptr;
+  Counter* m_direct_hops_ = nullptr;
+  Counter* m_fault_drops_ = nullptr;
+  Counter* m_fault_timeouts_ = nullptr;
+  Counter* m_fault_crashes_ = nullptr;
+  Histogram* m_lookup_hops_ = nullptr;
 
   std::vector<uint64_t> ring_;    // sorted live IDs
   std::vector<NodeLoad> loads_;   // parallel to ring_: dense, so the

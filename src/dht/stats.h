@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/check.h"
+
 namespace dhs {
 
 /// Aggregate message-level costs. Byte accounting convention (matching the
@@ -27,12 +29,24 @@ struct MessageStats {
     bytes += o.bytes;
     return *this;
   }
+
+  /// Counter subtraction is only meaningful between two snapshots of
+  /// the same monotonically growing counters (later minus earlier), so
+  /// component-wise underflow is always a caller bug — catch it before
+  /// it wraps to ~2^64 and poisons downstream deltas.
+  MessageStats& operator-=(const MessageStats& o) {
+    DCHECK_LE(o.messages, messages) << "MessageStats message underflow";
+    DCHECK_LE(o.hops, hops) << "MessageStats hop underflow";
+    DCHECK_LE(o.bytes, bytes) << "MessageStats byte underflow";
+    messages -= o.messages;
+    hops -= o.hops;
+    bytes -= o.bytes;
+    return *this;
+  }
 };
 
 inline MessageStats operator-(MessageStats a, const MessageStats& b) {
-  a.messages -= b.messages;
-  a.hops -= b.hops;
-  a.bytes -= b.bytes;
+  a -= b;
   return a;
 }
 

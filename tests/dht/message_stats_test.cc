@@ -1,0 +1,67 @@
+#include "dht/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+
+namespace dhs {
+namespace {
+
+TEST(MessageStatsTest, SubtractionYieldsComponentwiseDelta) {
+  MessageStats end;
+  end.messages = 10;
+  end.hops = 20;
+  end.bytes = 300;
+  MessageStats begin;
+  begin.messages = 4;
+  begin.hops = 5;
+  begin.bytes = 100;
+  const MessageStats delta = end - begin;
+  EXPECT_EQ(delta.messages, 6u);
+  EXPECT_EQ(delta.hops, 15u);
+  EXPECT_EQ(delta.bytes, 200u);
+}
+
+// Regression test: operator-= used to wrap silently on underflow,
+// which would have turned a snapshot-ordering bug in the tracer into
+// absurd ~2^64 span deltas instead of a crash at the fault site.
+TEST(MessageStatsTest, SubtractionUnderflowTripsDcheck) {
+  struct CheckFired : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  CheckFailureHandler previous = SetCheckFailureHandler(
+      +[](const char* /*file*/, int /*line*/, const std::string& message) {
+        throw CheckFired(message);
+      });
+
+  MessageStats small;
+  small.messages = 1;
+  MessageStats big;
+  big.messages = 2;
+  EXPECT_THROW(small -= big, CheckFired);
+
+  // Each component is checked independently; equal values pass.
+  MessageStats a;
+  a.messages = 3;
+  a.hops = 7;
+  a.bytes = 9;
+  MessageStats b = a;
+  a -= b;
+  EXPECT_EQ(a.messages, 0u);
+  EXPECT_EQ(a.hops, 0u);
+  EXPECT_EQ(a.bytes, 0u);
+
+  MessageStats fewer_bytes;
+  fewer_bytes.messages = 5;
+  MessageStats more_bytes = fewer_bytes;
+  more_bytes.bytes = 1;
+  EXPECT_THROW(fewer_bytes -= more_bytes, CheckFired);
+
+  SetCheckFailureHandler(previous);
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,137 @@
+// Golden-trace determinism test: a fixed-seed scenario exports a
+// byte-identical Chrome trace on every run — timestamps are the
+// overlay's virtual clock, ordering is the tracer's global sequence
+// counter, and doubles render with %.17g, so nothing in the trace
+// depends on wall clock, ASLR, or hash-map iteration order. The
+// exported bytes are compared against a checked-in golden file.
+//
+// To regenerate after an intentional trace-format or scenario change:
+//
+//   DHS_REGEN_GOLDEN=1 ./build/tests/obs_test --gtest_filter='GoldenTraceTest.*'
+//
+// then review the golden diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/chord.h"
+#include "dhs/client.h"
+#include "obs/trace.h"
+
+namespace dhs {
+namespace {
+
+constexpr const char* kGoldenPath =
+    DHS_OBS_GOLDEN_DIR "/golden_trace.chord.json";
+
+/// Runs the pinned scenario and returns the exported Chrome trace.
+/// Everything here must stay deterministic: fixed seeds, fixed op
+/// order, no wall-clock reads.
+std::string RunScenario() {
+  OverlayConfig overlay;
+  overlay.hasher = "mix";
+  ChordNetwork net(overlay);
+  Tracer tracer;
+  net.AttachTracer(&tracer);
+
+  Rng rng(0x601d);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(net.AddNode(rng.Next()).ok());
+  }
+
+  DhsConfig config;
+  config.k = 12;
+  config.m = 4;
+  config.lim = 3;
+  config.replication = 2;
+  config.estimator = DhsEstimator::kSuperLogLog;
+  auto client = DhsClient::Create(&net, config);
+  EXPECT_TRUE(client.ok());
+
+  const uint64_t metric = 42;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(client->Insert(net.RandomNode(rng), metric, rng.Next(), rng)
+                    .ok());
+    net.AdvanceClock(2);
+  }
+  std::vector<uint64_t> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(rng.Next());
+  EXPECT_TRUE(
+      client->InsertBatch(net.RandomNode(rng), metric, batch, rng).ok());
+  EXPECT_TRUE(client->Count(net.RandomNode(rng), metric, rng).ok());
+
+  // A faulted segment: drops and timeouts land as instants and retries.
+  FaultConfig faults;
+  faults.drop_probability = 0.2;
+  faults.timeout_probability = 0.1;
+  faults.seed = 5;
+  EXPECT_TRUE(net.SetFaultPlan(faults).ok());
+  for (int i = 0; i < 4; ++i) {
+    (void)client->Insert(net.RandomNode(rng), metric, rng.Next(), rng);
+    net.AdvanceClock(1);
+  }
+  (void)client->Count(net.RandomNode(rng), metric, rng);
+  net.ClearFaultPlan();
+
+  // Churn, then one clean count over the shrunk ring.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(net.FailNode(net.RandomNode(rng)).ok());
+  }
+  (void)client->Count(net.RandomNode(rng), metric, rng);
+
+  std::ostringstream os;
+  tracer.WriteChromeTrace(os);
+  return os.str();
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return std::string();
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+TEST(GoldenTraceTest, TwoFreshRunsAreByteIdentical) {
+  const std::string first = RunScenario();
+  const std::string second = RunScenario();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(GoldenTraceTest, MatchesCheckedInGolden) {
+  const std::string trace = RunScenario();
+  if (std::getenv("DHS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(os.good()) << "cannot write " << kGoldenPath;
+    os << trace;
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+  const std::string golden = ReadFileOrEmpty(kGoldenPath);
+  ASSERT_FALSE(golden.empty())
+      << kGoldenPath
+      << " missing — regenerate with DHS_REGEN_GOLDEN=1 (see file header)";
+  // Byte equality; on mismatch, report the first divergent offset
+  // rather than dumping two multi-hundred-kB documents.
+  if (trace != golden) {
+    size_t offset = 0;
+    const size_t limit = std::min(trace.size(), golden.size());
+    while (offset < limit && trace[offset] == golden[offset]) ++offset;
+    FAIL() << "trace diverges from " << kGoldenPath << " at byte " << offset
+           << " (sizes " << trace.size() << " vs " << golden.size()
+           << "); context: ..."
+           << trace.substr(offset > 40 ? offset - 40 : 0, 80) << "... vs ..."
+           << golden.substr(offset > 40 ? offset - 40 : 0, 80) << "...";
+  }
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,144 @@
+// Trace <-> stats reconciliation property test (the invariant
+// obs/trace.h documents): every message the network charges is issued
+// inside some traced operation, and root spans never overlap, so the
+// sum of closed-root-span MessageStats deltas equals the network's
+// global counters EXACTLY — messages, hops and bytes, on both overlay
+// geometries, with and without an active fault plan (a faulted message
+// still costs 1 message, 0 hops, 0 bytes, and still lands inside the
+// span that issued it).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dht/chord.h"
+#include "dht/kademlia.h"
+#include "dht/network.h"
+#include "dhs/client.h"
+#include "obs/trace.h"
+
+namespace dhs {
+namespace {
+
+struct ReconcileCase {
+  std::string name;
+  bool kademlia;
+  bool faults;
+};
+
+class ReconcileTest : public ::testing::TestWithParam<ReconcileCase> {
+ protected:
+  static std::unique_ptr<DhtNetwork> MakeNetwork(bool kademlia) {
+    OverlayConfig config;
+    config.hasher = "mix";
+    if (kademlia) return std::make_unique<KademliaNetwork>(config);
+    return std::make_unique<ChordNetwork>(config);
+  }
+};
+
+TEST_P(ReconcileTest, RootSpansSumToGlobalStats) {
+  const ReconcileCase& param = GetParam();
+  auto net = MakeNetwork(param.kademlia);
+  Tracer tracer;
+  net->AttachTracer(&tracer);
+
+  Rng rng(20260806);
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_TRUE(net->AddNode(rng.Next()).ok());
+  }
+  if (param.faults) {
+    FaultConfig faults;
+    faults.drop_probability = 0.08;
+    faults.timeout_probability = 0.05;
+    faults.crash_probability = 0.01;
+    faults.seed = 99;
+    ASSERT_TRUE(net->SetFaultPlan(faults).ok());
+  }
+
+  DhsConfig config;
+  config.k = 24;
+  config.m = 16;
+  config.lim = 3;
+  config.replication = 2;
+  auto client = DhsClient::Create(net.get(), config);
+  ASSERT_TRUE(client.ok());
+
+  const uint64_t metric = 7;
+  int churn_adds = 0;
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t origin = net->RandomNode(rng);
+    switch (rng.Next() % 8) {
+      case 0: {  // raw routed put (may fail under faults — still traced)
+        (void)net->Put(origin, rng.Next(), "k", "v", kNoExpiry);
+        break;
+      }
+      case 1: {
+        (void)net->GetValue(origin, rng.Next(), "k");
+        break;
+      }
+      case 2: {
+        (void)net->Lookup(origin, rng.Next(), 16);
+        break;
+      }
+      case 3: {
+        const uint64_t to = net->RandomNode(rng);
+        if (to != origin) (void)net->DirectHop(origin, to, 8);
+        break;
+      }
+      case 4: {
+        (void)client->Insert(origin, metric, rng.Next(), rng);
+        break;
+      }
+      case 5: {
+        std::vector<uint64_t> batch;
+        for (int i = 0; i < 20; ++i) batch.push_back(rng.Next());
+        (void)client->InsertBatch(origin, metric, batch, rng);
+        break;
+      }
+      case 6: {
+        (void)client->Count(origin, metric, rng);
+        break;
+      }
+      case 7: {  // churn: uncharged membership ops interleave freely
+        if (churn_adds < 16 && rng.Next() % 2 == 0) {
+          if (net->AddNode(rng.Next()).ok()) ++churn_adds;
+        } else if (net->NodeIds().size() > 24) {
+          const uint64_t victim = net->RandomNode(rng);
+          (void)(rng.Next() % 2 == 0 ? net->RemoveNode(victim)
+                                     : net->FailNode(victim));
+        }
+        net->AdvanceClock(1);
+        break;
+      }
+    }
+    ASSERT_EQ(tracer.OpenDepth(), 0u) << "span leaked at step " << step;
+  }
+
+  const MessageStats total = tracer.RootSpanTotal();
+  EXPECT_EQ(total.messages, net->stats().messages);
+  EXPECT_EQ(total.hops, net->stats().hops);
+  EXPECT_EQ(total.bytes, net->stats().bytes);
+  EXPECT_GT(net->stats().messages, 0u) << "scenario exercised nothing";
+  if (param.faults) {
+    const FaultStats& fired = net->fault_plan().stats();
+    EXPECT_GT(fired.drops + fired.timeouts, 0u)
+        << "fault plan never fired; the faulted case tested nothing";
+  }
+  EXPECT_TRUE(net->AuditFull().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ReconcileTest,
+    ::testing::Values(ReconcileCase{"ChordClean", false, false},
+                      ReconcileCase{"ChordFaulted", false, true},
+                      ReconcileCase{"KademliaClean", true, false},
+                      ReconcileCase{"KademliaFaulted", true, true}),
+    [](const ::testing::TestParamInfo<ReconcileCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dhs

@@ -60,10 +60,19 @@
 //                  [--seed=1] [--estimator=sll|pcsa|hll]
 //                  [--schedules=1] [--jobs=0 (hardware)]
 //                  [--drop=P] [--timeout=P] [--crash=P]
+//                  [--trace-out=PATH] [--metrics-out=PATH]
+//
+// --trace-out / --metrics-out attach an observability sink to every
+// world; each world writes PATH (suffixed .<geometry>.<seed> when the
+// run spans several worlds) at the end of its schedule, and the checker
+// additionally pins the tracer's own reconciliation invariant: the sum
+// of root-span MessageStats deltas must equal the network's final
+// counters exactly.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
@@ -262,6 +271,9 @@ struct SimOptions {
   int schedules = 1;  // independently seeded runs (seed, seed+1, ...)
   int jobs = 0;       // worker threads; 0 = hardware concurrency
   FaultConfig faults;  // probabilities only; seed derived per schedule
+  std::string trace_out;    // per-world Chrome trace JSON (empty = off)
+  std::string metrics_out;  // per-world metrics JSON (empty = off)
+  bool multi_world = false;  // several worlds share the output paths
 };
 
 class DifferentialSim {
@@ -308,6 +320,8 @@ class DifferentialSim {
     CheckStoresAgainstReference();
     CheckCountsAgainstGlobalScan();
     RunFullAudit();
+    CheckTraceReconciliation();
+    WriteObsOutputs();
     char line[160];
     std::snprintf(line, sizeof(line),
                   "audit_sim: %s/%s: seed %" PRIu64 ": %d steps, %" PRIu64
@@ -329,6 +343,14 @@ class DifferentialSim {
   }
 
   void Bootstrap() {
+    if (!options_.trace_out.empty()) {
+      tracer_ = std::make_unique<Tracer>();
+      net_->AttachTracer(tracer_.get());
+    }
+    if (!options_.metrics_out.empty()) {
+      metrics_ = std::make_unique<MetricsRegistry>();
+      net_->AttachMetrics(metrics_.get());
+    }
     for (int i = 0; i < 48; ++i) {
       const uint64_t id = rng_.Next();
       if (net_->AddNode(id).ok()) ref_.Join(id);
@@ -853,6 +875,40 @@ class DifferentialSim {
     CHECK_OK(client_->AuditFull()) << "step " << step_;
   }
 
+  /// With tracing on, the observability layer's own invariant rides
+  /// along: every charged message was issued inside some traced
+  /// operation, so the root-span deltas must sum to the network's
+  /// counters exactly — messages, hops and bytes, faults included.
+  void CheckTraceReconciliation() const {
+    if (tracer_ == nullptr) return;
+    const MessageStats total = tracer_->RootSpanTotal();
+    CHECK_EQ(tracer_->OpenDepth(), 0u) << "span left open after the run";
+    CHECK_EQ(total.messages, net_->stats().messages)
+        << "trace reconciliation: messages";
+    CHECK_EQ(total.hops, net_->stats().hops)
+        << "trace reconciliation: hops";
+    CHECK_EQ(total.bytes, net_->stats().bytes)
+        << "trace reconciliation: bytes";
+  }
+
+  void WriteObsOutputs() const {
+    const std::string suffix =
+        options_.multi_world
+            ? std::string(".") + net_->GeometryName() + "." +
+                  std::to_string(options_.seed)
+            : std::string();
+    if (tracer_ != nullptr) {
+      std::ofstream os(options_.trace_out + suffix);
+      CHECK(os.good()) << "cannot write " << options_.trace_out << suffix;
+      tracer_->WriteChromeTrace(os);
+    }
+    if (metrics_ != nullptr) {
+      std::ofstream os(options_.metrics_out + suffix);
+      CHECK(os.good()) << "cannot write " << options_.metrics_out << suffix;
+      metrics_->WriteJson(os);
+    }
+  }
+
   const IdSpace& space() const { return net_->space(); }
 
   static constexpr size_t kMaxNodes = 96;
@@ -865,6 +921,8 @@ class DifferentialSim {
   MixHasher item_hasher_;
   MixHasher key_hasher_{0x7265636f72647321ull};
   std::unique_ptr<DhsClient> client_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsRegistry> metrics_;
   int step_ = 0;
   uint64_t ops_ = 0;
   uint64_t next_item_ = 0;
@@ -907,12 +965,17 @@ int Main(int argc, char** argv) {
           std::strtod(arg.c_str() + 10, nullptr);
     } else if (arg.rfind("--crash=", 0) == 0) {
       options.faults.crash_probability = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(std::string("--metrics-out=").size());
     } else {
       std::fprintf(stderr,
                    "usage: audit_sim [--geometry=chord|kademlia|both] "
                    "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll] "
                    "[--schedules=K] [--jobs=J] "
-                   "[--drop=P] [--timeout=P] [--crash=P]\n");
+                   "[--drop=P] [--timeout=P] [--crash=P] "
+                   "[--trace-out=PATH] [--metrics-out=PATH]\n");
       return 2;
     }
   }
@@ -925,6 +988,7 @@ int Main(int argc, char** argv) {
   } else {
     geometries = {options.geometry};
   }
+  options.multi_world = geometries.size() * static_cast<size_t>(options.schedules) > 1;
 
   // Each schedule is one fully independent world per geometry; RunTrials
   // spreads schedules over the worker pool and returns their reports in

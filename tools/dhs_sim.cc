@@ -27,10 +27,17 @@
 //   stats                                cumulative network statistics
 //   loads                                per-node load percentiles
 //   help                                 this text
+//
+// Flags:
+//   --trace-out=<path>    record per-operation spans; written as Chrome
+//                         trace-event JSON at exit (or <path>.jsonl next
+//                         to it when the path ends in .jsonl)
+//   --metrics-out=<path>  dump the metrics registry as JSON at exit
 
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -44,6 +51,8 @@
 #include "dht/chord.h"
 #include "dht/kademlia.h"
 #include "hashing/hasher.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dhs {
 namespace {
@@ -55,6 +64,13 @@ struct SimState {
   Rng rng{20260705};
   MixHasher item_hasher{0xd5};
   std::map<std::string, uint64_t> inserted;  // metric name -> items so far
+
+  // Observability sinks, enabled by --trace-out / --metrics-out and
+  // attached to every network the session builds.
+  std::string trace_out;
+  std::string metrics_out;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<MetricsRegistry> metrics;
 };
 
 void PrintHelp() {
@@ -102,6 +118,12 @@ void CmdNetwork(SimState& state, std::istringstream& args) {
   }
   while (state.network->NumNodes() < static_cast<size_t>(nodes)) {
     (void)state.network->AddNode(state.rng.Next());  // duplicate ID: retry
+  }
+  if (state.tracer != nullptr) {
+    state.network->AttachTracer(state.tracer.get());
+  }
+  if (state.metrics != nullptr) {
+    state.network->AttachMetrics(state.metrics.get());
   }
   state.client.reset();
   std::printf("%s overlay with %zu nodes\n",
@@ -277,8 +299,52 @@ void CmdLoads(SimState& state) {
               probes.Median(), probes.Percentile(0.99), probes.max());
 }
 
-int Run() {
+bool WriteObsOutputs(const SimState& state) {
+  bool ok = true;
+  if (state.tracer != nullptr && !state.trace_out.empty()) {
+    std::ofstream os(state.trace_out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   state.trace_out.c_str());
+      ok = false;
+    } else if (state.trace_out.size() > 6 &&
+               state.trace_out.rfind(".jsonl") ==
+                   state.trace_out.size() - 6) {
+      state.tracer->WriteJsonl(os);
+    } else {
+      state.tracer->WriteChromeTrace(os);
+    }
+  }
+  if (state.metrics != nullptr && !state.metrics_out.empty()) {
+    std::ofstream os(state.metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   state.metrics_out.c_str());
+      ok = false;
+    } else {
+      state.metrics->WriteJson(os);
+    }
+  }
+  return ok;
+}
+
+int Run(int argc, char** argv) {
   SimState state;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      state.trace_out = arg.substr(std::string("--trace-out=").size());
+      state.tracer = std::make_unique<Tracer>();
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      state.metrics_out = arg.substr(std::string("--metrics-out=").size());
+      state.metrics = std::make_unique<MetricsRegistry>();
+    } else {
+      std::fprintf(stderr,
+                   "usage: dhs_sim [--trace-out=PATH] [--metrics-out=PATH]"
+                   " < commands\n");
+      return 2;
+    }
+  }
   std::string line;
   const bool interactive = isatty(fileno(stdin));
   if (interactive) {
@@ -320,10 +386,10 @@ int Run() {
       std::printf("unknown command: %s (try `help`)\n", command.c_str());
     }
   }
-  return 0;
+  return WriteObsOutputs(state) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace dhs
 
-int main() { return dhs::Run(); }
+int main(int argc, char** argv) { return dhs::Run(argc, argv); }
