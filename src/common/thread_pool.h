@@ -1,4 +1,5 @@
-// Fixed-size worker pool and the deterministic multi-trial runner.
+// Fixed-size worker pool, the deterministic multi-trial runner, and the
+// per-shard worker set used by the sharded single-world engine.
 //
 // The experiment harness (bench/, tools/audit_sim) averages many
 // independent seeded simulator trials. Each trial owns its entire world
@@ -12,6 +13,15 @@
 // completion order, and aggregation happens on the calling thread after
 // every trial finished — so 1, 2 and 8 threads produce bit-identical
 // output (tests/common/thread_pool_test.cc pins this).
+//
+// ShardPool is the other parallelism shape: one *pinned* worker per
+// shard, each draining its own FIFO task queue, plus a barrier that
+// the sharded network engine (dht/shard.h) uses as its tick barrier.
+// Unlike ThreadPool's shared queue, work posted to shard s always runs
+// on worker s — shard-owned state (stores, routing caches, load
+// slices) is therefore mutated by exactly one thread, and the barrier
+// provides the happens-before edge for the coordinator to exchange
+// cross-shard messages between rounds.
 
 #ifndef DHS_COMMON_THREAD_POOL_H_
 #define DHS_COMMON_THREAD_POOL_H_
@@ -62,6 +72,54 @@ class ThreadPool {
   CondVar idle_cv_;  // signaled when the pool may have drained
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   int active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+/// One worker thread per shard, each with its own task queue, plus a
+/// tick barrier. `shards() <= 1` runs every task inline on the posting
+/// thread (the deterministic single-shard baseline) — no thread is
+/// spawned, so a 1-shard engine behaves exactly like unsharded code.
+class ShardPool {
+ public:
+  /// Spawns one pinned worker per shard when `shards >= 2`.
+  explicit ShardPool(int shards);
+
+  /// Drains every queue, then joins the workers.
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Enqueues a task on shard `shard`'s worker (run inline when the
+  /// pool is inline). Tasks must not throw. Post and Barrier are meant
+  /// to be called from one coordinating thread; tasks themselves must
+  /// not Post.
+  void Post(int shard, std::function<void()> task) EXCLUDES(mu_);
+
+  /// Tick barrier: blocks until every shard queue is empty and every
+  /// worker is idle. Returning establishes a happens-before edge from
+  /// all completed tasks to the caller.
+  void Barrier() EXCLUDES(mu_);
+
+  /// Convenience round: posts fn(shard) to every shard, then Barrier().
+  void RunRound(const std::function<void(int)>& fn);
+
+  int shards() const { return shards_; }
+
+  /// True when tasks run inline on the posting thread (shards <= 1).
+  bool inlined() const { return threads_.empty(); }
+
+ private:
+  void WorkerLoop(int shard) EXCLUDES(mu_);
+
+  int shards_ = 1;
+  Mutex mu_;
+  CondVar work_cv_;  // signaled on new work / shutdown
+  CondVar idle_cv_;  // signaled when a worker may have drained
+  std::vector<std::deque<std::function<void()>>> queues_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;
+  size_t queued_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };

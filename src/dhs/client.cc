@@ -85,6 +85,13 @@ const DhsClient::OpMetrics* DhsClient::MetricsFor(OpIndex op) {
       m.failed_probes =
           registry->GetCounter("dhs_op_failed_probes_total", labels);
     }
+    const MetricLabels cache_labels = {
+        {"geometry", network_->GeometryName()},
+        {"estimator", DhsEstimatorName(config_.estimator)}};
+    m_frontier_hits_ = registry->GetCounter(
+        "dhs_frontier_cache_hits_total", cache_labels);
+    m_frontier_misses_ = registry->GetCounter(
+        "dhs_frontier_cache_misses_total", cache_labels);
     metrics_cached_ = registry;
   }
   return &op_metrics_[op];
@@ -237,6 +244,7 @@ StatusOr<DhsCostReport> DhsClient::Insert(uint64_t origin_node,
                                           uint64_t item_hash, Rng& rng) {
   ScopedSpan span(network_->tracer(), "insert");
   if (span.active()) span.Arg(TraceArg::U64("metric", metric_id));
+  if (config_.frontier_cache) frontier_.erase(metric_id);
   const DhsPlacement placement = PlaceItem(item_hash);
   DhsCostReport cost;
   if (placement.rho < config_.shift_bits) {
@@ -263,6 +271,7 @@ StatusOr<DhsCostReport> DhsClient::InsertBatch(
     span.Arg(TraceArg::U64("metric", metric_id));
     span.Arg(TraceArg::U64("items", item_hashes.size()));
   }
+  if (config_.frontier_cache) frontier_.erase(metric_id);
   // §3.2 bulk insertion: group by bit position r; one message per r
   // carries all (deduplicated) vector updates for that position.
   std::map<int, std::set<int>> by_bit;
@@ -450,10 +459,35 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
   result.observables.assign(num_metrics, std::vector<int>(m, -1));
   size_t total_unresolved = num_metrics * static_cast<size_t>(m);
 
+  // Frontier cache: when every metric of the sweep has a cached raw
+  // observable set, bits above the cached max rho were empty at the
+  // last complete count and — absent inserts, which invalidate — decay
+  // can only have emptied more, so the scan starts at the frontier.
+  int start_bit = mapping_.MaxBit();
+  if (config_.frontier_cache) {
+    MetricsFor(kOpCount);  // interns the hit/miss counters
+    bool hit = true;
+    int frontier = mapping_.MinBit() - 1;
+    for (uint64_t metric_id : metric_ids) {
+      auto it = frontier_.find(metric_id);
+      if (it == frontier_.end()) {
+        hit = false;
+        break;
+      }
+      for (int v : it->second) frontier = std::max(frontier, v);
+    }
+    if (hit) {
+      start_bit = std::min(start_bit, frontier);
+      if (m_frontier_hits_ != nullptr) m_frontier_hits_->Increment();
+    } else {
+      if (m_frontier_misses_ != nullptr) m_frontier_misses_->Increment();
+    }
+  }
+
   // Scan bit positions high -> low: the first set bit found for a bitmap
   // is its maximal rho (the sLL observable).
-  for (int r = mapping_.MaxBit();
-       r >= mapping_.MinBit() && total_unresolved > 0; --r) {
+  for (int r = start_bit; r >= mapping_.MinBit() && total_unresolved > 0;
+       --r) {
     bool abandoned = false;
     Status s = ProbeInterval(
         origin_node, r, rng, &result.cost,
@@ -480,6 +514,15 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
       result.gave_up = true;
       result.bitmaps_unresolved = std::max(
           result.bitmaps_unresolved, static_cast<int>(total_unresolved));
+    }
+  }
+
+  // Cache raw observables (before the bit-shift backfill mutates them)
+  // — only from a complete count: an abandoned interval could have
+  // hidden a higher rho, and caching it would pin future scans low.
+  if (config_.frontier_cache && !result.gave_up) {
+    for (size_t mi = 0; mi < num_metrics; ++mi) {
+      frontier_[metric_ids[mi]] = result.observables[mi];
     }
   }
 

@@ -10,6 +10,7 @@
 #define DHS_DHS_CLIENT_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/random.h"
@@ -243,6 +244,14 @@ class DhsClient {
   /// Registry the cached op instruments were interned against.
   MetricsRegistry* metrics_cached_ = nullptr;
   OpMetrics op_metrics_[kNumOps];
+
+  /// Frontier cache (config_.frontier_cache, sLL/HLL only): per metric,
+  /// the raw observables (max rho per vector, -1 = none) of the last
+  /// complete count. Invalidated by Insert/InsertBatch for the metric;
+  /// never written by a count that gave up.
+  std::map<uint64_t, std::vector<int>> frontier_;
+  Counter* m_frontier_hits_ = nullptr;    // interned with op metrics
+  Counter* m_frontier_misses_ = nullptr;
 };
 
 }  // namespace dhs

@@ -1,0 +1,401 @@
+#include "dhs/front_door.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "dht/fault.h"
+#include "dhs/lim.h"
+#include "dhs/mapping.h"
+#include "sketch/estimator.h"
+#include "sketch/hyperloglog.h"
+
+namespace dhs {
+
+namespace {
+
+// Extra ReplicaCandidates requested beyond the copies still needed
+// (the client's kReplicaSlack), so unreachable candidates fall through.
+constexpr int kReplicaSlack = 2;
+
+// Indexed by DhsFrontDoor::OpIndex; the same op names the sequential
+// client uses, so both paths feed the same metric series.
+constexpr const char* kOpNames[] = {"insert_batch", "count"};
+
+/// Folds one engine outcome into the client-style cost report. The
+/// engine's charging rules mirror the sequential client's, so the
+/// mapping is field-for-field.
+void AccumulateCost(const ShardOpOutcome& outcome, DhsCostReport* cost) {
+  cost->nodes_visited += static_cast<int>(outcome.visited.size());
+  cost->hops += static_cast<int>(outcome.delta.hops);
+  cost->bytes += outcome.delta.bytes;
+  cost->dht_lookups += outcome.lookups_issued;
+  cost->direct_probes += outcome.direct_issued;
+  cost->retries += outcome.retries;
+  cost->failed_probes += outcome.failed_candidates;
+  cost->replicas_written += outcome.replicas_written;
+}
+
+}  // namespace
+
+StatusOr<DhsFrontDoor> DhsFrontDoor::Create(ShardedNetwork* engine,
+                                            const DhsConfig& config) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must not be null");
+  }
+  auto client = DhsClient::Create(engine->network(), config);
+  if (!client.ok()) return client.status();
+  engine->set_retry_attempts(config.retry_attempts);
+  return DhsFrontDoor(engine, std::move(client.value()));
+}
+
+int DhsFrontDoor::LimForBit(int bit) const {
+  const DhsConfig& config = client_.config();
+  if (!config.adaptive_lim || config.expected_cardinality == 0) {
+    return config.lim;
+  }
+  auto interval = client_.mapping().IntervalForBit(bit);
+  if (!interval.ok()) return config.lim;
+  const double fraction =
+      std::ldexp(static_cast<double>(interval->size),
+                 -network()->space().bits());
+  const double n_bins =
+      fraction * static_cast<double>(network()->NumNodes());
+  if (n_bins < 2.0) return config.lim;
+  const double n_items = std::ldexp(
+      static_cast<double>(config.expected_cardinality), -(bit + 1));
+  const int required = RequiredProbesReplicated(
+      static_cast<uint64_t>(n_bins), static_cast<uint64_t>(n_items),
+      config.m, config.replication,
+      /*p_miss=*/1.0 - config.adaptive_confidence);
+  return std::clamp(required, config.lim, config.max_lim);
+}
+
+void DhsFrontDoor::MaybeAudit() const {
+  if (!client_.config().audit) return;
+  CHECK_OK(network()->AuditFull()) << "after a sharded DHS operation";
+  CHECK_OK(client_.AuditFull()) << "after a sharded DHS operation";
+}
+
+const DhsFrontDoor::OpMetrics* DhsFrontDoor::MetricsFor(OpIndex op) {
+  MetricsRegistry* registry = network()->metrics();
+  if (registry == nullptr) return nullptr;
+  if (registry != metrics_cached_) {
+    for (int i = 0; i < kNumOps; ++i) {
+      const MetricLabels labels = {
+          {"op", kOpNames[i]},
+          {"geometry", network()->GeometryName()},
+          {"estimator", DhsEstimatorName(client_.config().estimator)}};
+      OpMetrics& m = op_metrics_[i];
+      m.ops = registry->GetCounter("dhs_ops_total", labels);
+      m.errors = registry->GetCounter("dhs_op_errors_total", labels);
+      m.hops = registry->GetHistogram(
+          "dhs_op_hops", {4, 16, 64, 256, 1024, 4096}, labels);
+      m.bytes = registry->GetHistogram(
+          "dhs_op_bytes", {64, 256, 1024, 4096, 16384, 65536}, labels);
+      m.retries = registry->GetCounter("dhs_op_retries_total", labels);
+      m.failed_probes =
+          registry->GetCounter("dhs_op_failed_probes_total", labels);
+    }
+    metrics_cached_ = registry;
+  }
+  return &op_metrics_[op];
+}
+
+void DhsFrontDoor::FinishOp(ScopedSpan& span, OpIndex op,
+                            const DhsCostReport& cost, bool ok) {
+  if (span.active()) {
+    span.Arg(TraceArg::Str("op", kOpNames[op]));
+    span.Arg(TraceArg::Bool("ok", ok));
+    span.Arg(TraceArg::I64("nodes_visited", cost.nodes_visited));
+    span.Arg(TraceArg::I64("op_hops", cost.hops));
+    span.Arg(TraceArg::U64("op_bytes", cost.bytes));
+    span.Arg(TraceArg::I64("dht_lookups", cost.dht_lookups));
+    span.Arg(TraceArg::I64("direct_probes", cost.direct_probes));
+    span.Arg(TraceArg::I64("retries", cost.retries));
+    span.Arg(TraceArg::I64("failed_probes", cost.failed_probes));
+    span.Arg(TraceArg::I64("replicas_requested", cost.replicas_requested));
+    span.Arg(TraceArg::I64("replicas_written", cost.replicas_written));
+    span.Arg(TraceArg::I64("bit_groups_failed", cost.bit_groups_failed));
+  }
+  const OpMetrics* m = MetricsFor(op);
+  if (m == nullptr) return;
+  m->ops->Increment();
+  if (!ok) m->errors->Increment();
+  m->hops->Observe(cost.hops);
+  m->bytes->Observe(static_cast<double>(cost.bytes));
+  m->retries->Increment(static_cast<uint64_t>(cost.retries));
+  m->failed_probes->Increment(static_cast<uint64_t>(cost.failed_probes));
+}
+
+StatusOr<DhsCostReport> DhsFrontDoor::InsertBatch(
+    uint64_t origin_node, uint64_t metric_id,
+    const std::vector<uint64_t>& item_hashes, Rng& rng) {
+  if (!network()->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+  const DhsConfig& config = client_.config();
+  ScopedSpan span(network()->tracer(), "insert_batch");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("metric", metric_id));
+    span.Arg(TraceArg::U64("items", item_hashes.size()));
+  }
+
+  // §3.2 bulk insertion: one kPut per bit position carrying that
+  // position's deduplicated vector updates.
+  std::map<int, std::set<int>> by_bit;
+  for (uint64_t hash : item_hashes) {
+    const DhsPlacement placement = client_.PlaceItem(hash);
+    if (placement.rho < config.shift_bits) continue;
+    by_bit[placement.rho].insert(placement.vector_id);
+  }
+
+  DhsCostReport cost;
+  Status first_failure = Status::OK();
+  std::vector<ShardOp> ops;
+  ops.reserve(by_bit.size());
+  for (const auto& [bit, vectors] : by_bit) {
+    auto interval = client_.mapping().IntervalForBit(bit);
+    if (!interval.ok()) {
+      cost.bit_groups_failed += 1;
+      if (first_failure.ok()) first_failure = interval.status();
+      continue;
+    }
+    ShardOp op;
+    op.kind = ShardOp::kPut;
+    op.origin = origin_node;
+    op.key = client_.mapping().RandomIdIn(*interval, rng);
+    op.interval = *interval;
+    op.payload_bytes = config.TupleBytes() * vectors.size();
+    op.put_keys.reserve(vectors.size());
+    for (int vector_id : vectors) {
+      op.put_keys.push_back(MakeDhsKey(metric_id, bit, vector_id));
+    }
+    op.ttl_ticks = config.ttl_ticks;
+    op.replication = config.replication;
+    op.replica_slack = kReplicaSlack;
+    ops.push_back(std::move(op));
+    cost.replicas_requested += config.replication;
+  }
+
+  size_t groups_attempted = ops.size();
+  if (groups_attempted > 0) {
+    auto outcomes = engine_->ExecuteBatch(ops);
+    if (!outcomes.ok()) return outcomes.status();
+    for (const ShardOpOutcome& outcome : *outcomes) {
+      AccumulateCost(outcome, &cost);
+      if (!outcome.status.ok()) {
+        // A failed primary write degrades this group only, as in the
+        // sequential InsertBatch.
+        cost.bit_groups_failed += 1;
+        if (first_failure.ok()) first_failure = outcome.status;
+      }
+    }
+  }
+
+  MaybeAudit();
+  const bool all_failed = !first_failure.ok() &&
+      cost.bit_groups_failed == static_cast<int>(by_bit.size());
+  FinishOp(span, kOpInsertBatch, cost, !all_failed);
+  if (all_failed) return first_failure;  // nothing was stored
+  return cost;
+}
+
+ShardOp DhsFrontDoor::MakeProbeOp(uint64_t origin, int bit,
+                                  const std::vector<uint64_t>& metric_ids,
+                                  const IdInterval& interval,
+                                  Rng& rng) const {
+  const DhsConfig& config = client_.config();
+  ShardOp op;
+  op.kind = ShardOp::kProbe;
+  op.origin = origin;
+  op.key = client_.mapping().RandomIdIn(interval, rng);
+  op.interval = interval;
+  op.payload_bytes = config.ProbeRequestBytes();
+  op.lim = LimForBit(bit);
+  op.queries.reserve(metric_ids.size());
+  for (uint64_t metric_id : metric_ids) {
+    op.queries.emplace_back(metric_id, bit);
+  }
+  op.response_base_bytes = config.ProbeResponseBytes(0);
+  op.response_per_record_bytes =
+      config.ProbeResponseBytes(1) - config.ProbeResponseBytes(0);
+  return op;
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+    Rng& rng) {
+  if (metric_ids.empty()) {
+    return Status::InvalidArgument("no metrics given");
+  }
+  if (!network()->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+  const DhsConfig& config = client_.config();
+  const BitMapping& mapping = client_.mapping();
+  ScopedSpan span(network()->tracer(), "count");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("metrics", metric_ids.size()));
+  }
+
+  // One kProbe per bit interval, issued as a single batch in scan
+  // order (the sequential client scans sequentially and can stop
+  // early; the batch always sweeps the full range — the extra probes
+  // cannot change the observables, only the cost).
+  const bool pcsa = config.estimator == DhsEstimator::kPcsa;
+  std::vector<int> bits;
+  for (int r = mapping.MinBit(); r <= mapping.MaxBit(); ++r) {
+    bits.push_back(r);
+  }
+  if (!pcsa) std::reverse(bits.begin(), bits.end());  // high -> low
+
+  std::vector<ShardOp> ops;
+  ops.reserve(bits.size());
+  for (int r : bits) {
+    auto interval = mapping.IntervalForBit(r);
+    if (!interval.ok()) {
+      FinishOp(span, kOpCount, DhsCostReport{}, /*ok=*/false);
+      return interval.status();
+    }
+    ops.push_back(MakeProbeOp(origin_node, r, metric_ids, *interval, rng));
+  }
+
+  auto outcomes = engine_->ExecuteBatch(ops);
+  if (!outcomes.ok()) {
+    FinishOp(span, kOpCount, DhsCostReport{}, /*ok=*/false);
+    return outcomes.status();
+  }
+
+  const size_t num_metrics = metric_ids.size();
+  const int m = config.m;
+  DhsClient::MultiCountResult result;
+  result.observables.assign(num_metrics, std::vector<int>(m, -1));
+
+  // Replay the outcomes in scan order with the sequential client's
+  // resolution rules, so observables / gave_up / bitmaps_unresolved
+  // match the sequential semantics bit for bit. Costs accumulate over
+  // every probed interval (the full sweep).
+  for (const ShardOpOutcome& outcome : *outcomes) {
+    AccumulateCost(outcome, &result.cost);
+    if (!outcome.status.ok() && !IsTransientFault(outcome.status)) {
+      FinishOp(span, kOpCount, DhsCostReport{}, /*ok=*/false);
+      return outcome.status;
+    }
+  }
+
+  if (!pcsa) {
+    // sLL/HLL: first set bit found (high -> low) is the max rho.
+    size_t total_unresolved = num_metrics * static_cast<size_t>(m);
+    for (size_t i = 0; i < bits.size() && total_unresolved > 0; ++i) {
+      const ShardOpOutcome& outcome = (*outcomes)[i];
+      const int r = bits[i];
+      if (!outcome.status.ok()) {  // interval abandoned
+        result.gave_up = true;
+        result.bitmaps_unresolved = std::max(
+            result.bitmaps_unresolved, static_cast<int>(total_unresolved));
+        continue;
+      }
+      for (size_t v = 0; v < outcome.visited.size(); ++v) {
+        for (size_t mi = 0; mi < num_metrics; ++mi) {
+          std::vector<int>& observed = result.observables[mi];
+          for (int vec : outcome.found[v][mi]) {
+            if (vec < m && observed[vec] < 0) {
+              observed[vec] = r;
+              --total_unresolved;
+            }
+          }
+        }
+      }
+    }
+    result.estimates.reserve(num_metrics);
+    for (auto& observed : result.observables) {
+      const bool all_empty = std::all_of(
+          observed.begin(), observed.end(), [](int v) { return v < 0; });
+      if (!all_empty && config.shift_bits > 0) {
+        // Bit-shift rule: unobserved bitmaps still have rho up to
+        // shift_bits - 1 among the assumed-set positions.
+        for (int& v : observed) {
+          if (v < 0) v = config.shift_bits - 1;
+        }
+      }
+      result.estimates.push_back(
+          config.estimator == DhsEstimator::kHyperLogLog
+              ? HyperLogLogEstimateFromM(observed)
+              : SuperLogLogEstimateFromM(observed, config.theta0));
+    }
+  } else {
+    // PCSA: the observable is the first position (low -> high) with no
+    // set bit found (the leftmost zero).
+    size_t total_open = num_metrics * static_cast<size_t>(m);
+    std::vector<std::vector<char>> observed_here(
+        num_metrics, std::vector<char>(static_cast<size_t>(m), 0));
+    for (size_t i = 0; i < bits.size() && total_open > 0; ++i) {
+      const ShardOpOutcome& outcome = (*outcomes)[i];
+      const int r = bits[i];
+      if (!outcome.status.ok()) {
+        // No information at r: leave open bitmaps open (mildly high)
+        // rather than collapsing them to r.
+        result.gave_up = true;
+        result.bitmaps_unresolved = std::max(result.bitmaps_unresolved,
+                                             static_cast<int>(total_open));
+        continue;
+      }
+      for (auto& flags : observed_here) {
+        std::fill(flags.begin(), flags.end(), 0);
+      }
+      for (size_t v = 0; v < outcome.visited.size(); ++v) {
+        for (size_t mi = 0; mi < num_metrics; ++mi) {
+          for (int vec : outcome.found[v][mi]) {
+            if (vec < m && result.observables[mi][vec] < 0) {
+              observed_here[mi][static_cast<size_t>(vec)] = 1;
+            }
+          }
+        }
+      }
+      for (size_t mi = 0; mi < num_metrics; ++mi) {
+        for (int v = 0; v < m; ++v) {
+          if (result.observables[mi][v] < 0 && !observed_here[mi][v]) {
+            result.observables[mi][v] = r;
+            --total_open;
+          }
+        }
+      }
+    }
+    // Bitmaps saturated through the last position.
+    for (auto& observed : result.observables) {
+      for (int& v : observed) {
+        if (v < 0) v = mapping.MaxBit() + 1;
+      }
+    }
+    result.estimates.reserve(num_metrics);
+    for (const auto& observed : result.observables) {
+      result.estimates.push_back(PcsaEstimateFromM(observed));
+    }
+  }
+
+  MaybeAudit();
+  if (span.active()) {
+    span.Arg(TraceArg::Bool("gave_up", result.gave_up));
+  }
+  FinishOp(span, kOpCount, result.cost, /*ok=*/true);
+  return result;
+}
+
+StatusOr<DhsCountResult> DhsFrontDoor::Count(uint64_t origin_node,
+                                             uint64_t metric_id, Rng& rng) {
+  auto many = CountMany(origin_node, {metric_id}, rng);
+  if (!many.ok()) return many.status();
+  DhsCountResult result;
+  result.estimate = many->estimates[0];
+  result.observables = std::move(many->observables[0]);
+  result.gave_up = many->gave_up;
+  result.bitmaps_unresolved = many->bitmaps_unresolved;
+  result.cost = many->cost;
+  return result;
+}
+
+}  // namespace dhs

@@ -1,0 +1,110 @@
+// Sharded DHS front door: the batch entry point that drives the
+// sharded engine (dht/shard.h) with DHS semantics — bulk insertion
+// (§3.2) and multi-metric counting (§4, Alg. 1) expressed as ShardOp
+// batches instead of sequential client calls.
+//
+// The front door owns a DhsClient purely for its validated config,
+// bit mapping, item placement and audit logic; all network traffic
+// goes through ShardedNetwork::ExecuteBatch. Outcome accounting maps
+// 1:1 onto DhsCostReport (the engine mirrors the client's charging
+// rules), and each root operation is wrapped in the same root span
+// ("insert_batch" / "count") with the same cost annotations, so the
+// tracer's root-span reconciliation invariant holds unchanged.
+//
+// Observable equivalence: for a fixed seed the sharded path produces
+// identical estimates and observables at any shard count (pinned by
+// tests/dht/shard_test.cc). Relative to the *sequential* client the
+// observables agree but costs may differ: counting walks probe the
+// full candidate list instead of stopping at done() (the skipped
+// probes cannot change max-rho or leftmost-zero observables), every
+// bit interval of a count is swept (the sequential scan stops once all
+// bitmaps resolve), and RNG draw order differs. DESIGN.md ("Sharding
+// model") discusses the trade.
+
+#ifndef DHS_DHS_FRONT_DOOR_H_
+#define DHS_DHS_FRONT_DOOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dht/shard.h"
+#include "dhs/client.h"
+#include "dhs/config.h"
+
+namespace dhs {
+
+class DhsFrontDoor {
+ public:
+  /// The engine (and its network) must outlive the front door. The
+  /// config is validated; the engine's retry budget is set from it.
+  static StatusOr<DhsFrontDoor> Create(ShardedNetwork* engine,
+                                       const DhsConfig& config);
+
+  const DhsConfig& config() const { return client_.config(); }
+  const BitMapping& mapping() const { return client_.mapping(); }
+  ShardedNetwork* engine() const { return engine_; }
+  DhtNetwork* network() const { return engine_->network(); }
+
+  /// Bulk insertion (§3.2): groups items by bit position and issues one
+  /// kPut per group as a single engine batch. Degradation semantics
+  /// match DhsClient::InsertBatch: a failed group is counted in
+  /// bit_groups_failed and the batch continues; the error is returned
+  /// only when every group failed.
+  [[nodiscard]] StatusOr<DhsCostReport> InsertBatch(
+      uint64_t origin_node, uint64_t metric_id,
+      const std::vector<uint64_t>& item_hashes, Rng& rng);
+
+  /// Multi-metric count (§4.2): issues one kProbe per bit interval —
+  /// all intervals in a single engine batch — and reconstructs the
+  /// observables from the probe results in scan order (high -> low for
+  /// sLL/HLL, low -> high for PCSA), with the same first-hit /
+  /// leftmost-zero and degradation rules as the sequential client.
+  [[nodiscard]] StatusOr<DhsClient::MultiCountResult> CountMany(
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
+      Rng& rng);
+
+  /// Single-metric convenience wrapper over CountMany.
+  [[nodiscard]] StatusOr<DhsCountResult> Count(uint64_t origin_node,
+                                               uint64_t metric_id, Rng& rng);
+
+ private:
+  DhsFrontDoor(ShardedNetwork* engine, DhsClient client)
+      : engine_(engine), client_(std::move(client)) {}
+
+  /// Probe budget for bit r (the client's LimForBit: flat lim, or the
+  /// eq. 6 adaptive value).
+  int LimForBit(int bit) const;
+
+  /// Builds the kProbe op for bit r (shared by both scan directions).
+  ShardOp MakeProbeOp(uint64_t origin, int bit,
+                      const std::vector<uint64_t>& metric_ids,
+                      const IdInterval& interval, Rng& rng) const;
+
+  void MaybeAudit() const;
+
+  /// Root-span + metrics close-out, mirroring DhsClient::FinishOp
+  /// (same instrument names and labels, ops "insert_batch" / "count").
+  enum OpIndex { kOpInsertBatch = 0, kOpCount, kNumOps };
+  struct OpMetrics {
+    Counter* ops = nullptr;
+    Counter* errors = nullptr;
+    Histogram* hops = nullptr;
+    Histogram* bytes = nullptr;
+    Counter* retries = nullptr;
+    Counter* failed_probes = nullptr;
+  };
+  const OpMetrics* MetricsFor(OpIndex op);
+  void FinishOp(ScopedSpan& span, OpIndex op, const DhsCostReport& cost,
+                bool ok);
+
+  ShardedNetwork* engine_;
+  DhsClient client_;
+  MetricsRegistry* metrics_cached_ = nullptr;
+  OpMetrics op_metrics_[kNumOps];
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHS_FRONT_DOOR_H_

@@ -45,12 +45,14 @@ StatusOr<uint64_t> KademliaNetwork::ResponsibleNode(uint64_t key) const {
   return ClosestWithin(lo, half_size, key);
 }
 
-KademliaNetwork::BucketTable& KademliaNetwork::BucketsFor(
-    uint64_t node_id) const {
-  BucketTable& table = bucket_cache_[node_id];
-  if (table.state.empty()) {
-    table.contact.resize(static_cast<size_t>(space_.bits()), 0);
-    table.state.resize(static_cast<size_t>(space_.bits()), kUnknown);
+KademliaNetwork::BucketTable& KademliaNetwork::TableAt(
+    size_t node_idx) const {
+  if (tables_.size() < ring().size()) tables_.resize(ring().size());
+  BucketTable& table = tables_[node_idx];
+  if (table.epoch != epoch_) {
+    table.epoch = epoch_;
+    table.contact.assign(static_cast<size_t>(space_.bits()), 0);
+    table.state.assign(static_cast<size_t>(space_.bits()), kUnknown);
   }
   return table;
 }
@@ -78,7 +80,7 @@ size_t KademliaNetwork::NextHopIndex(size_t current_idx,
   // "current is already responsible" can only have fired on empty
   // blocks — the kEmptyBlock path below covers it.
   const int b = Log2Floor(diff);
-  BucketTable& table = BucketsFor(current_id);
+  BucketTable& table = TableAt(current_idx);
   uint8_t& state = table.state[static_cast<size_t>(b)];
   if (state == kUnknown) {
     const uint64_t block_size = uint64_t{1} << b;
@@ -100,13 +102,12 @@ size_t KademliaNetwork::NextHopIndex(size_t current_idx,
 }
 
 Status KademliaNetwork::AuditDerivedState() const {
-  for (const auto& [node_id, table] : bucket_cache_) {
-    if (!Contains(node_id)) {
-      std::ostringstream os;
-      os << "kademlia audit: bucket cache holds dead node " << node_id
-         << " (cache not dropped on membership change)";
-      return Status::Internal(os.str());
-    }
+  const std::vector<uint64_t>& r = ring();
+  const size_t rows = std::min(tables_.size(), r.size());
+  for (size_t idx = 0; idx < rows; ++idx) {
+    const BucketTable& table = tables_[idx];
+    if (table.epoch != epoch_) continue;  // stale row: reset before reuse
+    const uint64_t node_id = r[idx];
     const size_t levels = static_cast<size_t>(space_.bits());
     if (table.state.size() != levels || table.contact.size() != levels) {
       std::ostringstream os;

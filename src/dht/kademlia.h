@@ -6,8 +6,8 @@
 // prefix with the key (the converged-k-bucket idealization), giving
 // O(log N) hops. The contact a node uses for differing-bit level b
 // depends only on (node, b), so contacts are materialized into a
-// per-node bucket table that is dropped on membership change — the
-// analogue of Chord's finger-table cache. Candidate holders of a
+// per-node bucket table that is epoch-invalidated on membership change
+// — the analogue of Chord's finger-table cache. Candidate holders of a
 // prefix-aligned interval are the nodes of the smallest non-empty
 // aligned block enclosing it, ordered by XOR distance to the probed key
 // — because under XOR responsibility the keys of an empty block scatter
@@ -21,7 +21,6 @@
 #define DHS_DHT_KADEMLIA_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "dht/network.h"
@@ -57,26 +56,40 @@ class KademliaNetwork : public DhtNetwork {
   size_t NextHopIndex(size_t current_idx, uint64_t current_id,
                       uint64_t key) const override;
 
-  void OnMembershipChange() override { bucket_cache_.clear(); }
+  /// O(1) invalidation: bumping the epoch marks every cached bucket
+  /// table stale without touching it (Chord's finger-table scheme).
+  void OnMembershipChange() override { ++epoch_; }
 
-  /// Recomputes every cached bucket contact brute-force: a kContact slot
-  /// must hold the ring index of the XOR-closest block member, a
-  /// kEmptyBlock slot must correspond to a block with no live node, and
-  /// every cached node must still be live (the cache is dropped wholesale
-  /// on membership change, so no entry can outlive its epoch).
+  /// Pre-sizes tables_ to the ring so sharded routing never resizes the
+  /// shared vector; each row is then only written by the worker owning
+  /// its node (stale rows reset in place on first use).
+  void PrepareShardedRouting() override {
+    if (tables_.size() < ring().size()) tables_.resize(ring().size());
+  }
+
+  /// Recomputes every epoch-fresh cached bucket contact brute-force: a
+  /// kContact slot must hold the ring index of the XOR-closest block
+  /// member and a kEmptyBlock slot must correspond to a block with no
+  /// live node. Stale-epoch rows are ignored (they are reset before
+  /// next use).
   [[nodiscard]] Status AuditDerivedState() const override;
 
  private:
   /// Per-node contact cache, one slot per differing-bit level: the ring
   /// index of the block member a query at this node jumps to, or "block
-  /// empty" (route straight to the key's responsible node).
+  /// empty" (route straight to the key's responsible node). Stored at
+  /// the node's ring index and tagged with the membership epoch it was
+  /// built in, like Chord's FingerTable.
   struct BucketTable {
+    uint64_t epoch = 0;             // valid iff == network epoch
     std::vector<uint64_t> contact;  // ring index; valid where kContact
     std::vector<uint8_t> state;     // kUnknown / kContact / kEmptyBlock
   };
   enum : uint8_t { kUnknown = 0, kContact = 1, kEmptyBlock = 2 };
 
-  BucketTable& BucketsFor(uint64_t node_id) const;
+  /// The (valid-epoch) bucket table of the node at `node_idx`; resets a
+  /// stale row in place.
+  BucketTable& TableAt(size_t node_idx) const;
 
   /// True iff a live node exists in [lo, lo + size).
   bool BlockNonEmpty(uint64_t lo, uint64_t size) const;
@@ -93,8 +106,9 @@ class KademliaNetwork : public DhtNetwork {
                                       uint64_t key, uint64_t exclude,
                                       int max_candidates) const;
 
-  // Lazily filled; cleared on membership change.
-  mutable std::unordered_map<uint64_t, BucketTable> bucket_cache_;
+  // Lazily filled, epoch-invalidated; indexed by ring index.
+  mutable std::vector<BucketTable> tables_;
+  mutable uint64_t epoch_ = 1;  // starts above BucketTable::epoch's 0
 };
 
 }  // namespace dhs

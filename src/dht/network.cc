@@ -14,6 +14,8 @@ DhtNetwork::DhtNetwork(const OverlayConfig& config)
   if (name_hasher_ == nullptr) {
     name_hasher_ = MakeHasher("md4");
   }
+  shard_plan_.id_bits = space_.bits();
+  shard_expiry_.assign(1, kNoExpiry);
 }
 
 void DhtNetwork::RingInsert(uint64_t node_id) {
@@ -36,13 +38,47 @@ Status DhtNetwork::AddNode(uint64_t node_id) {
   if (!inserted) {
     return Status::InvalidArgument("node id already present");
   }
-  it->second.BindExpiryWatermark(&earliest_expiry_);
+  it->second.BindExpiryWatermark(
+      &shard_expiry_[static_cast<size_t>(shard_plan_.ShardOf(node_id))]);
   RingInsert(node_id);
   OnMembershipChange();
   if (ring_.size() > 1) {
     MigrateOnJoin(node_id);
   }
   return Status::OK();
+}
+
+size_t DhtNetwork::BulkAddNodes(std::vector<uint64_t> ids) {
+  CHECK(nodes_.empty())
+      << "BulkAddNodes is an initial-population fast path; the network "
+      << "already holds " << nodes_.size() << " nodes";
+  for (uint64_t& id : ids) id = space_.Clamp(id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  for (uint64_t id : ids) {
+    // Ascending inserts with an end() hint: amortized O(1) per node.
+    auto it = nodes_.try_emplace(nodes_.end(), id);
+    it->second.BindExpiryWatermark(
+        &shard_expiry_[static_cast<size_t>(shard_plan_.ShardOf(id))]);
+  }
+  ring_ = std::move(ids);
+  loads_.assign(ring_.size(), NodeLoad{});
+  OnMembershipChange();
+  return ring_.size();
+}
+
+void DhtNetwork::SetShardPlan(int shards) {
+  shard_plan_.shards = shards < 1 ? 1 : shards;
+  shard_plan_.id_bits = space_.bits();
+  shard_expiry_.assign(static_cast<size_t>(shard_plan_.shards), kNoExpiry);
+  for (auto& [id, store] : nodes_) {
+    const size_t s = static_cast<size_t>(shard_plan_.ShardOf(id));
+    store.BindExpiryWatermark(&shard_expiry_[s]);
+    // MinExpiry is a stale-low bound, which is exactly what the
+    // watermark needs to stay.
+    shard_expiry_[s] = std::min(shard_expiry_[s], store.MinExpiry());
+  }
+  PrepareShardedRouting();
 }
 
 StatusOr<uint64_t> DhtNetwork::AddNodeFromName(std::string_view name) {
@@ -364,15 +400,26 @@ void DhtNetwork::ResetLoads() {
 
 void DhtNetwork::AdvanceClock(uint64_t ticks) {
   now_ += ticks;
-  if (earliest_expiry_ > now_) return;  // nothing can be due yet
+  for (int s = 0; s < shard_plan_.shards; ++s) {
+    if (shard_expiry_[static_cast<size_t>(s)] > now_) continue;
+    ExpireShard(s);  // something in this slice can be due
+  }
+}
+
+void DhtNetwork::ExpireShard(int shard) {
   uint64_t next = kNoExpiry;
-  for (auto& [id, store] : nodes_) {
+  auto it = nodes_.lower_bound(shard_plan_.LowerBound(shard));
+  const auto end = shard + 1 == shard_plan_.shards
+                       ? nodes_.end()
+                       : nodes_.lower_bound(shard_plan_.LowerBound(shard + 1));
+  for (; it != end; ++it) {
+    NodeStore& store = it->second;
     // MinExpiry is a stale-low bound: a false positive costs one
     // ExpireUntil call that pops only stale heap entries.
     if (store.MinExpiry() <= now_) store.ExpireUntil(now_);
     next = std::min(next, store.MinExpiry());
   }
-  earliest_expiry_ = next;
+  shard_expiry_[static_cast<size_t>(shard)] = next;
 }
 
 size_t DhtNetwork::TotalStorageBytes() const {
@@ -418,8 +465,25 @@ Status DhtNetwork::AuditFull() const {
     ++idx;
   }
 
-  // Per-store state, watermark binding, and the true earliest expiry.
-  uint64_t true_earliest = kNoExpiry;
+  // Shard plan sanity: one watermark slot per slice, sized to the space.
+  if (shard_plan_.shards < 1 ||
+      shard_expiry_.size() != static_cast<size_t>(shard_plan_.shards)) {
+    std::ostringstream os;
+    os << "shard plan declares " << shard_plan_.shards
+       << " slices but there are " << shard_expiry_.size()
+       << " expiry watermarks";
+    return fail(os.str());
+  }
+  if (shard_plan_.id_bits != space_.bits()) {
+    std::ostringstream os;
+    os << "shard plan partitions a " << shard_plan_.id_bits
+       << "-bit space but the overlay uses " << space_.bits() << " bits";
+    return fail(os.str());
+  }
+
+  // Per-store state, per-shard watermark binding, and the true earliest
+  // expiry of each slice.
+  std::vector<uint64_t> true_earliest(shard_expiry_.size(), kNoExpiry);
   for (const auto& [id, store] : nodes_) {
     Status s = store.AuditFull(now_);
     if (!s.ok()) {
@@ -427,27 +491,32 @@ Status DhtNetwork::AuditFull() const {
       os << "store at node " << id << ": " << s.message();
       return fail(os.str());
     }
-    if (store.bound_watermark() != &earliest_expiry_) {
+    const size_t shard = static_cast<size_t>(shard_plan_.ShardOf(id));
+    if (store.bound_watermark() != &shard_expiry_[shard]) {
       std::ostringstream os;
       os << "store at node " << id
-         << " is not bound to the network expiry watermark";
+         << " is not bound to its owning shard's expiry watermark (shard "
+         << shard << ")";
       return fail(os.str());
     }
-    store.ForEach(now_, [&true_earliest](const StoreKey&,
-                                         const StoreRecord& rec) {
+    store.ForEach(now_, [&true_earliest, shard](const StoreKey&,
+                                                const StoreRecord& rec) {
       if (rec.expires_at != kNoExpiry) {
-        true_earliest = std::min(true_earliest, rec.expires_at);
+        true_earliest[shard] = std::min(true_earliest[shard], rec.expires_at);
       }
     });
   }
-  // The watermark is a lower bound: AdvanceClock may only skip a tick
-  // when nothing can be due, so overshooting the true earliest expiry
-  // would silently leave dead records alive.
-  if (earliest_expiry_ > true_earliest) {
-    std::ostringstream os;
-    os << "expiry watermark " << earliest_expiry_
-       << " overshoots the true earliest live expiry " << true_earliest;
-    return fail(os.str());
+  // Each watermark is a lower bound: AdvanceClock may only skip a slice
+  // when nothing in it can be due, so overshooting the slice's true
+  // earliest expiry would silently leave dead records alive.
+  for (size_t shard = 0; shard < shard_expiry_.size(); ++shard) {
+    if (shard_expiry_[shard] > true_earliest[shard]) {
+      std::ostringstream os;
+      os << "shard " << shard << " expiry watermark " << shard_expiry_[shard]
+         << " overshoots the slice's true earliest live expiry "
+         << true_earliest[shard];
+      return fail(os.str());
+    }
   }
 
   return AuditDerivedState();

@@ -56,9 +56,18 @@
 // the offending step and seed in the CHECK message (the failure
 // handler is an atomic slot, so concurrent failures are race-free).
 //
+// Sharded mode (--shards=K > 1): every DHS operation, membership
+// change and clock tick runs through the sharded execution engine
+// (ShardedNetwork + DhsFrontDoor, K ID-space shards on worker
+// threads) instead of the sequential client, and every differential
+// check above then validates the sharded path — the same reference
+// model, store scans, cost/stats books and trace reconciliation, with
+// zero tolerance. Incompatible with --crash (the engine freezes
+// membership during a batch).
+//
 // Usage: audit_sim [--geometry=chord|kademlia|both] [--steps=10000]
 //                  [--seed=1] [--estimator=sll|pcsa|hll]
-//                  [--schedules=1] [--jobs=0 (hardware)]
+//                  [--shards=1] [--schedules=1] [--jobs=0 (hardware)]
 //                  [--drop=P] [--timeout=P] [--crash=P]
 //                  [--trace-out=PATH] [--metrics-out=PATH]
 //
@@ -83,9 +92,11 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "dhs/client.h"
+#include "dhs/front_door.h"
 #include "dht/chord.h"
 #include "dht/fault.h"
 #include "dht/kademlia.h"
+#include "dht/shard.h"
 #include "hashing/hasher.h"
 #include "sketch/estimator.h"
 #include "sketch/hyperloglog.h"
@@ -270,6 +281,14 @@ struct SimOptions {
   DhsEstimator estimator = DhsEstimator::kSuperLogLog;
   int schedules = 1;  // independently seeded runs (seed, seed+1, ...)
   int jobs = 0;       // worker threads; 0 = hardware concurrency
+  /// > 1: run every DHS operation and membership change through the
+  /// sharded execution engine (ShardedNetwork + DhsFrontDoor) instead
+  /// of the sequential client, with K ID-space shards. Every
+  /// differential check then validates the sharded path: membership,
+  /// store contents, global-scan observables, cost/stats/trace
+  /// reconciliation. Incompatible with --crash (the engine freezes
+  /// membership during a batch and rejects crash injection).
+  int shards = 1;
   FaultConfig faults;  // probabilities only; seed derived per schedule
   std::string trace_out;    // per-world Chrome trace JSON (empty = off)
   std::string metrics_out;  // per-world metrics JSON (empty = off)
@@ -322,13 +341,18 @@ class DifferentialSim {
     RunFullAudit();
     CheckTraceReconciliation();
     WriteObsOutputs();
+    char shard_tag[24] = "";
+    if (options_.shards > 1) {
+      std::snprintf(shard_tag, sizeof(shard_tag), "/%d-shard",
+                    options_.shards);
+    }
     char line[160];
     std::snprintf(line, sizeof(line),
-                  "audit_sim: %s/%s: seed %" PRIu64 ": %d steps, %" PRIu64
+                  "audit_sim: %s/%s%s: seed %" PRIu64 ": %d steps, %" PRIu64
                   " ops, 0 divergences\n",
                   net_->GeometryName(),
-                  DhsEstimatorName(options_.estimator), options_.seed,
-                  options_.steps, ops_);
+                  DhsEstimatorName(options_.estimator), shard_tag,
+                  options_.seed, options_.steps, ops_);
     return line;
   }
 
@@ -372,6 +396,17 @@ class DifferentialSim {
     auto client = DhsClient::Create(net_.get(), config);
     CHECK_OK(client) << "bootstrap client";
     client_ = std::make_unique<DhsClient>(std::move(client.value()));
+
+    if (options_.shards > 1) {
+      CHECK(options_.faults.crash_probability == 0.0)
+          << "--shards is incompatible with --crash: the sharded engine "
+          << "freezes membership during a batch and rejects crash faults";
+      engine_ =
+          std::make_unique<ShardedNetwork>(net_.get(), options_.shards);
+      auto front = DhsFrontDoor::Create(engine_.get(), config);
+      CHECK_OK(front) << "bootstrap front door";
+      front_ = std::make_unique<DhsFrontDoor>(std::move(front.value()));
+    }
 
     if (options_.faults.Any()) {
       fault_cfg_ = options_.faults;
@@ -458,7 +493,7 @@ class DifferentialSim {
   void DoJoin() {
     if (ref_.NumNodes() >= kMaxNodes) return;
     const uint64_t id = rng_.Next();
-    const Status s = net_->AddNode(id);
+    const Status s = engine_ ? engine_->JoinNode(id) : net_->AddNode(id);
     if (ref_.members().count(id) > 0) {
       CHECK(s.IsInvalidArgument())
           << "step " << step_ << ": duplicate join not rejected";
@@ -473,13 +508,16 @@ class DifferentialSim {
     if (ref_.NumNodes() <= kMinNodes) return;
     const uint64_t victim = ref_.RandomMember(rng_);
     if (rng_.UniformU64(2) == 0) {
-      CHECK_OK(net_->RemoveNode(victim)) << "step " << step_ << ": leave";
+      CHECK_OK(engine_ ? engine_->LeaveNode(victim)
+                       : net_->RemoveNode(victim))
+          << "step " << step_ << ": leave";
       ref_.Leave(victim);
     } else {
       // Reference drops the victim's records *before* forgetting it
       // (responsibility is evaluated in the pre-failure membership).
       ref_.Fail(victim);
-      CHECK_OK(net_->FailNode(victim)) << "step " << step_ << ": fail";
+      CHECK_OK(engine_ ? engine_->CrashNode(victim) : net_->FailNode(victim))
+          << "step " << step_ << ": fail";
     }
     ++ops_;
   }
@@ -574,7 +612,11 @@ class DifferentialSim {
 
   void DoTick() {
     const uint64_t ticks = 1 + rng_.UniformU64(8);
-    net_->AdvanceClock(ticks);
+    if (engine_ != nullptr) {
+      engine_->AdvanceClock(ticks);  // parallel per-shard expiry
+    } else {
+      net_->AdvanceClock(ticks);
+    }
     ref_.Tick(ticks);
     CHECK_EQ(net_->now(), ref_.now()) << "step " << step_ << ": clock skew";
     ++ops_;
@@ -619,8 +661,9 @@ class DifferentialSim {
       batch.push_back(item_hasher_.HashU64(next_item_++));
     }
     const MessageStats before = net_->stats();
-    auto inserted =
-        client_->InsertBatch(ref_.RandomMember(rng_), metric, batch, rng_);
+    const uint64_t origin = ref_.RandomMember(rng_);
+    auto inserted = front_ ? front_->InsertBatch(origin, metric, batch, rng_)
+                           : client_->InsertBatch(origin, metric, batch, rng_);
     ReconcileCrashes();
     if (!inserted.ok()) {
       // Only a fault-injected transient failure may surface, and only
@@ -663,7 +706,9 @@ class DifferentialSim {
     const uint64_t metric = 1 + rng_.UniformU64(2);
     const MessageStats before = net_->stats();
     const uint64_t applied_before = net_->fault_plan().stats().Applied();
-    auto result = client_->Count(ref_.RandomMember(rng_), metric, rng_);
+    const uint64_t origin = ref_.RandomMember(rng_);
+    auto result = front_ ? front_->Count(origin, metric, rng_)
+                         : client_->Count(origin, metric, rng_);
     ReconcileCrashes();
     CHECK_OK(result)
         << "step " << step_
@@ -766,7 +811,9 @@ class DifferentialSim {
     const PausedFaults paused(net_.get());
     for (uint64_t metric : {uint64_t{1}, uint64_t{2}}) {
       const MessageStats before = net_->stats();
-      auto result = client_->Count(ref_.RandomMember(rng_), metric, rng_);
+      const uint64_t origin = ref_.RandomMember(rng_);
+      auto result = front_ ? front_->Count(origin, metric, rng_)
+                           : client_->Count(origin, metric, rng_);
       CHECK_OK(result) << "step " << step_ << ": count metric " << metric;
       // The client's own cost report must agree with the network's
       // books: both sides account every probe, hop and byte.
@@ -921,6 +968,12 @@ class DifferentialSim {
   MixHasher item_hasher_;
   MixHasher key_hasher_{0x7265636f72647321ull};
   std::unique_ptr<DhsClient> client_;
+  /// Sharded mode (--shards=K > 1): DHS and membership ops run through
+  /// the sharded engine; client_ stays alive for mapping/config and the
+  /// DHS-level audit (it reads network state only). front_ references
+  /// engine_, so it is declared after (destroyed first).
+  std::unique_ptr<ShardedNetwork> engine_;
+  std::unique_ptr<DhsFrontDoor> front_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<MetricsRegistry> metrics_;
   int step_ = 0;
@@ -954,6 +1007,8 @@ int Main(int argc, char** argv) {
       options.estimator = DhsEstimator::kPcsa;
     } else if (arg == "--estimator=hll") {
       options.estimator = DhsEstimator::kHyperLogLog;
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.shards = std::atoi(arg.c_str() + 9);
     } else if (arg.rfind("--schedules=", 0) == 0) {
       options.schedules = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -973,13 +1028,14 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: audit_sim [--geometry=chord|kademlia|both] "
                    "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll] "
-                   "[--schedules=K] [--jobs=J] "
+                   "[--shards=K] [--schedules=K] [--jobs=J] "
                    "[--drop=P] [--timeout=P] [--crash=P] "
                    "[--trace-out=PATH] [--metrics-out=PATH]\n");
       return 2;
     }
   }
   if (options.schedules < 1) options.schedules = 1;
+  if (options.shards < 1) options.shards = 1;
   CHECK_OK(options.faults.Validate()) << "fault probabilities";
 
   std::vector<Geometry> geometries;

@@ -29,6 +29,11 @@
 //   help                                 this text
 //
 // Flags:
+//   --shards=<K>          run DHS ops, churn and ticks through the
+//                         sharded execution engine (K ID-space shards
+//                         on worker threads; K=1 runs it inline);
+//                         fixed-seed runs are byte-identical across
+//                         shard counts
 //   --trace-out=<path>    record per-operation spans; written as Chrome
 //                         trace-event JSON at exit (or <path>.jsonl next
 //                         to it when the path ends in .jsonl)
@@ -36,6 +41,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -47,9 +53,11 @@
 
 #include "common/stats.h"
 #include "dhs/client.h"
+#include "dhs/front_door.h"
 #include "dhs/metrics.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
+#include "dht/shard.h"
 #include "hashing/hasher.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -60,6 +68,14 @@ namespace {
 struct SimState {
   std::unique_ptr<DhtNetwork> network;
   std::unique_ptr<DhsClient> client;
+  /// --shards=K: DHS ops, churn and ticks run through the sharded
+  /// execution engine instead of the sequential client (K=1 runs the
+  /// engine inline — the determinism reference). front depends on
+  /// engine (declared after, destroyed first).
+  bool use_engine = false;
+  int shards = 1;
+  std::unique_ptr<ShardedNetwork> engine;
+  std::unique_ptr<DhsFrontDoor> front;
   DhsConfig config;
   Rng rng{20260705};
   MixHasher item_hasher{0xd5};
@@ -98,6 +114,18 @@ bool RequireClient(SimState& state) {
     }
     state.client = std::make_unique<DhsClient>(std::move(client.value()));
   }
+  if (state.use_engine && state.front == nullptr) {
+    if (state.engine == nullptr) {
+      state.engine = std::make_unique<ShardedNetwork>(state.network.get(),
+                                                      state.shards);
+    }
+    auto front = DhsFrontDoor::Create(state.engine.get(), state.config);
+    if (!front.ok()) {
+      std::printf("error: %s\n", front.status().ToString().c_str());
+      return false;
+    }
+    state.front = std::make_unique<DhsFrontDoor>(std::move(front.value()));
+  }
   return true;
 }
 
@@ -116,9 +144,17 @@ void CmdNetwork(SimState& state, std::istringstream& args) {
   } else {
     state.network = std::make_unique<KademliaNetwork>(config);
   }
-  while (state.network->NumNodes() < static_cast<size_t>(nodes)) {
-    (void)state.network->AddNode(state.rng.Next());  // duplicate ID: retry
+  // Bulk bootstrap: O(n log n) with no per-join migration work (the
+  // network is empty), which is what makes 100k+-node worlds practical.
+  std::vector<uint64_t> ids;
+  while (ids.size() < static_cast<size_t>(nodes)) {
+    ids.push_back(state.rng.Next());
+    if (ids.size() == static_cast<size_t>(nodes)) {
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    }
   }
+  (void)state.network->BulkAddNodes(std::move(ids));
   if (state.tracer != nullptr) {
     state.network->AttachTracer(state.tracer.get());
   }
@@ -126,8 +162,17 @@ void CmdNetwork(SimState& state, std::istringstream& args) {
     state.network->AttachMetrics(state.metrics.get());
   }
   state.client.reset();
-  std::printf("%s overlay with %zu nodes\n",
-              state.network->GeometryName(), state.network->NumNodes());
+  state.front.reset();
+  state.engine.reset();
+  if (state.use_engine) {
+    state.engine = std::make_unique<ShardedNetwork>(state.network.get(),
+                                                    state.shards);
+  }
+  std::printf("%s overlay with %zu nodes%s\n",
+              state.network->GeometryName(), state.network->NumNodes(),
+              state.use_engine ? (" (" + std::to_string(state.shards) +
+                                  " shards)").c_str()
+                               : "");
 }
 
 void CmdConfig(SimState& state, std::istringstream& args) {
@@ -168,6 +213,7 @@ void CmdConfig(SimState& state, std::istringstream& args) {
     }
   }
   state.client.reset();  // rebuilt lazily with the new config
+  state.front.reset();
   std::printf("config: m=%d k=%d lim=%d replication=%d shift=%d "
               "estimator=%s\n",
               state.config.m, state.config.k, state.config.lim,
@@ -187,22 +233,25 @@ void CmdInsert(SimState& state, std::istringstream& args) {
   const uint64_t metric = MetricFromName(name);
   uint64_t& offset = state.inserted[name];
   const MessageStats before = state.network->stats();
+  // Interactive best-effort inserts: all origins are live, so the only
+  // failure mode is an empty network, excluded by RequireClient.
+  const auto flush = [&state, metric](const std::vector<uint64_t>& items) {
+    const uint64_t origin = state.network->RandomNode(state.rng);
+    if (state.front != nullptr) {
+      (void)state.front->InsertBatch(origin, metric, items, state.rng);
+    } else {
+      (void)state.client->InsertBatch(origin, metric, items, state.rng);
+    }
+  };
   std::vector<uint64_t> batch;
   for (uint64_t i = 0; i < n; ++i) {
     batch.push_back(state.item_hasher.HashU64(metric ^ (offset + i)));
     if (batch.size() == 1000) {
-      // Interactive best-effort insert: all origins are live, so the
-      // only failure mode is an empty network, excluded by RequireClient.
-      (void)state.client->InsertBatch(
-          state.network->RandomNode(state.rng), metric, batch, state.rng);
+      flush(batch);
       batch.clear();
     }
   }
-  if (!batch.empty()) {
-    // Same justification as the in-loop flush above.
-    (void)state.client->InsertBatch(state.network->RandomNode(state.rng),
-                                    metric, batch, state.rng);
-  }
+  if (!batch.empty()) flush(batch);
   offset += n;
   const MessageStats delta = state.network->stats() - before;
   std::printf("inserted %llu items into '%s' (total %llu): %llu hops, "
@@ -226,8 +275,10 @@ void CmdCount(SimState& state, std::istringstream& args) {
   for (const auto& metric_name : names) {
     metrics.push_back(MetricFromName(metric_name));
   }
-  auto result = state.client->CountMany(
-      state.network->RandomNode(state.rng), metrics, state.rng);
+  const uint64_t origin = state.network->RandomNode(state.rng);
+  auto result = state.front != nullptr
+                    ? state.front->CountMany(origin, metrics, state.rng)
+                    : state.client->CountMany(origin, metrics, state.rng);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -256,16 +307,26 @@ void CmdChurn(SimState& state, std::istringstream& args,
   int n = 0;
   args >> n;
   if (n <= 0 || !RequireNetwork(state)) return;
+  ShardedNetwork* engine = state.engine.get();
   int done = 0;
   for (int i = 0; i < n; ++i) {
     if (what == "join") {
-      if (state.network->AddNode(state.rng.Next()).ok()) ++done;
+      const uint64_t id = state.rng.Next();
+      const Status s =
+          engine != nullptr ? engine->JoinNode(id) : state.network->AddNode(id);
+      if (s.ok()) ++done;
       continue;
     }
     if (state.network->NumNodes() <= 2) break;
     const uint64_t victim = state.network->RandomNode(state.rng);
-    const Status s = what == "fail" ? state.network->FailNode(victim)
-                                    : state.network->RemoveNode(victim);
+    Status s;
+    if (what == "fail") {
+      s = engine != nullptr ? engine->CrashNode(victim)
+                            : state.network->FailNode(victim);
+    } else {
+      s = engine != nullptr ? engine->LeaveNode(victim)
+                            : state.network->RemoveNode(victim);
+    }
     if (s.ok()) ++done;
   }
   std::printf("%s: %d nodes (now %zu alive)\n", what.c_str(), done,
@@ -338,10 +399,14 @@ int Run(int argc, char** argv) {
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       state.metrics_out = arg.substr(std::string("--metrics-out=").size());
       state.metrics = std::make_unique<MetricsRegistry>();
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      state.shards = std::atoi(arg.c_str() + 9);
+      if (state.shards < 1) state.shards = 1;
+      state.use_engine = true;
     } else {
       std::fprintf(stderr,
-                   "usage: dhs_sim [--trace-out=PATH] [--metrics-out=PATH]"
-                   " < commands\n");
+                   "usage: dhs_sim [--shards=K] [--trace-out=PATH] "
+                   "[--metrics-out=PATH] < commands\n");
       return 2;
     }
   }
@@ -374,7 +439,11 @@ int Run(int argc, char** argv) {
       int n = 1;
       args >> n;
       if (RequireNetwork(state)) {
-        state.network->AdvanceClock(static_cast<uint64_t>(n));
+        if (state.engine != nullptr) {
+          state.engine->AdvanceClock(static_cast<uint64_t>(n));
+        } else {
+          state.network->AdvanceClock(static_cast<uint64_t>(n));
+        }
         std::printf("clock=%llu\n",
                     static_cast<unsigned long long>(state.network->now()));
       }
