@@ -1,0 +1,162 @@
+#include "common/schedule.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dhs {
+
+SerializingScheduleController::SerializingScheduleController(int shards) {
+  CHECK_GE(shards, 1);
+  // The CHECK never returns on failure, but the optimizer cannot see
+  // that; the clamp keeps a hypothetical negative `shards` from
+  // reaching the allocations (-Wstringop-overflow).
+  const size_t n = static_cast<size_t>(shards < 1 ? 1 : shards);
+  pending_.assign(n, 0);
+  ready_.assign(n, false);
+  granted_.assign(n, false);
+}
+
+void SerializingScheduleController::BatchBegin() {
+  MutexLock lock(mu_);
+  ++posting_depth_;
+}
+
+void SerializingScheduleController::BatchEnd() {
+  {
+    MutexLock lock(mu_);
+    CHECK_GT(posting_depth_, 0);
+    --posting_depth_;
+    MaybeGrant();
+  }
+  cv_.SignalAll();
+}
+
+void SerializingScheduleController::TaskPosted(int shard) {
+  MutexLock lock(mu_);
+  // A new pending task can only shrink the stable set, never grant.
+  ++pending_[static_cast<size_t>(shard)];
+}
+
+void SerializingScheduleController::AcquireSlot(int shard) {
+  const size_t s = static_cast<size_t>(shard);
+  MutexLock lock(mu_);
+  CHECK_GT(pending_[s], 0u) << "AcquireSlot without a matching Post";
+  CHECK(!ready_[s]) << "one worker per shard may wait at a time";
+  --pending_[s];
+  ready_[s] = true;
+  MaybeGrant();
+  cv_.SignalAll();
+  while (!granted_[s]) cv_.Wait(mu_);
+  granted_[s] = false;
+}
+
+void SerializingScheduleController::ReleaseSlot(int shard) {
+  (void)shard;
+  {
+    MutexLock lock(mu_);
+    CHECK(running_) << "ReleaseSlot without a running task";
+    running_ = false;
+    MaybeGrant();
+  }
+  cv_.SignalAll();
+}
+
+uint64_t SerializingScheduleController::steps() const {
+  MutexLock lock(mu_);
+  return steps_;
+}
+
+void SerializingScheduleController::MaybeGrant() {
+  if (running_ || posting_depth_ > 0) return;
+  std::vector<int> options;
+  for (size_t s = 0; s < ready_.size(); ++s) {
+    // Stability: a pending task whose worker is not yet waiting means
+    // a pop is in flight — that worker will reach AcquireSlot and
+    // retrigger, so hold the grant to keep the option set complete.
+    if (pending_[s] > 0 && !ready_[s]) return;
+    if (ready_[s]) options.push_back(static_cast<int>(s));
+  }
+  if (options.empty()) return;
+  const int pick = PickNext(options);
+  CHECK(std::find(options.begin(), options.end(), pick) != options.end())
+      << "PickNext returned shard " << pick << " outside the option set";
+  ready_[static_cast<size_t>(pick)] = false;
+  granted_[static_cast<size_t>(pick)] = true;
+  running_ = true;
+  ++steps_;
+}
+
+PctScheduleController::PctScheduleController(int shards, uint64_t seed,
+                                             double change_prob)
+    : SerializingScheduleController(shards),
+      rng_(seed),
+      change_prob_(change_prob) {
+  MutexLock lock(mu_);
+  // Random distinct initial priorities: a Fisher-Yates permutation of
+  // 1..shards (higher runs first).
+  std::vector<int64_t> perm(static_cast<size_t>(shards));
+  for (size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<int64_t>(i) + 1;
+  }
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng_.UniformU64(i)]);
+  }
+  priority_ = std::move(perm);
+}
+
+int PctScheduleController::PickNext(const std::vector<int>& options) {
+  int pick = options.front();
+  for (int s : options) {
+    if (priority_[static_cast<size_t>(s)] >
+        priority_[static_cast<size_t>(pick)]) {
+      pick = s;
+    }
+  }
+  // PCT priority change point: demote the chosen shard below every
+  // other so a different shard leads at the next step.
+  if (rng_.Bernoulli(change_prob_)) {
+    priority_[static_cast<size_t>(pick)] = --floor_;
+  }
+  return pick;
+}
+
+ExhaustiveScheduleController::ExhaustiveScheduleController(int shards)
+    : SerializingScheduleController(shards) {}
+
+int ExhaustiveScheduleController::PickNext(const std::vector<int>& options) {
+  if (depth_ < path_.size()) {
+    const Choice& decided = path_[depth_];
+    CHECK(decided.options == options)
+        << "schedule-dependent choice point at depth " << depth_
+        << ": the option set changed across runs, so the program's "
+           "control flow is not schedule-independent";
+    const int pick = decided.options[decided.index];
+    ++depth_;
+    return pick;
+  }
+  path_.push_back(Choice{options, 0});
+  ++depth_;
+  return options.front();
+}
+
+bool ExhaustiveScheduleController::NextSchedule() {
+  MutexLock lock(mu_);
+  ++schedules_run_;
+  depth_ = 0;
+  // Backtrack: advance the deepest choice with an untried branch and
+  // drop everything below it.
+  while (!path_.empty()) {
+    Choice& last = path_.back();
+    if (++last.index < last.options.size()) return true;
+    path_.pop_back();
+  }
+  return false;
+}
+
+uint64_t ExhaustiveScheduleController::schedules_run() const {
+  MutexLock lock(mu_);
+  return schedules_run_;
+}
+
+}  // namespace dhs

@@ -1,0 +1,140 @@
+// Adversarial schedule exploration for the sharded engine (CHESS/PCT
+// style systematic concurrency testing).
+//
+// PR 6's determinism contract says a fixed-seed sharded run is
+// byte-identical to the sequential oracle *under every legal
+// interleaving* — but ordinary runs only witness the one interleaving
+// the OS scheduler happens to produce. The controllers here serialize
+// ShardPool execution into an explicitly chosen total order: every
+// posted task runs alone, and whenever several shards have a runnable
+// task the controller — not the OS — picks which goes next. Driving
+// many such schedules (random-priority PCT, or exhaustive enumeration
+// for small worlds) through audit_sim --interleave and checking the
+// world digest against the 1-shard oracle turns the determinism claim
+// into a property checked over the schedule space.
+//
+// Choice points are deterministic: grants are held while a RunRound is
+// still posting (BatchBegin/BatchEnd) and until every shard with a
+// posted-but-unstarted task has its worker waiting in AcquireSlot, so
+// the option set at each step is a pure function of the batch — which
+// is what lets ExhaustiveScheduleController replay a decided prefix
+// and take the next branch.
+//
+// This is test-only infrastructure: nothing in src/ installs a
+// controller outside the harnesses, and an installed controller
+// serializes the pool (one task at a time), so it is strictly a
+// correctness tool, never a performance mode.
+
+#ifndef DHS_COMMON_SCHEDULE_H_
+#define DHS_COMMON_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sync.h"
+#include "common/thread_pool.h"
+
+namespace dhs {
+
+/// Implements the ScheduleController protocol: tracks pending tasks
+/// per shard, holds workers at AcquireSlot, and grants one slot at a
+/// time at stable points (no task running, no posting in flight, and
+/// every shard with pending tasks has a ready worker). Subclasses only
+/// choose which ready shard runs next.
+class SerializingScheduleController : public ScheduleController {
+ public:
+  explicit SerializingScheduleController(int shards);
+
+  void BatchBegin() final EXCLUDES(mu_);
+  void BatchEnd() final EXCLUDES(mu_);
+  void TaskPosted(int shard) final EXCLUDES(mu_);
+  void AcquireSlot(int shard) final EXCLUDES(mu_);
+  void ReleaseSlot(int shard) final EXCLUDES(mu_);
+
+  /// Tasks granted so far (one grant per executed task).
+  uint64_t steps() const EXCLUDES(mu_);
+
+ protected:
+  /// Picks the shard to run next from `options` (sorted ascending,
+  /// never empty). Called at each stable point with the controller
+  /// lock held.
+  virtual int PickNext(const std::vector<int>& options) REQUIRES(mu_) = 0;
+
+  mutable Mutex mu_{"schedule_controller"};
+
+ private:
+  /// Grants one ready worker if the state is stable; no-op otherwise.
+  void MaybeGrant() REQUIRES(mu_);
+
+  CondVar cv_;  // grant hand-off: signaled on every state change
+  std::vector<uint64_t> pending_ GUARDED_BY(mu_);  // posted, not started
+  std::vector<bool> ready_ GUARDED_BY(mu_);    // waiting in AcquireSlot
+  std::vector<bool> granted_ GUARDED_BY(mu_);  // may leave AcquireSlot
+  int posting_depth_ GUARDED_BY(mu_) = 0;      // BatchBegin nesting
+  bool running_ GUARDED_BY(mu_) = false;       // a granted task runs
+  uint64_t steps_ GUARDED_BY(mu_) = 0;
+};
+
+/// PCT-style randomized scheduling (Burckhardt et al., "A Randomized
+/// Scheduler with Probabilistic Guarantees of Finding Bugs"): shards
+/// get random distinct priorities, the highest-priority ready shard
+/// always runs, and with probability `change_prob` per step the chosen
+/// shard is demoted below everyone — the random priority change points
+/// that give PCT its bug-depth guarantee. Different seeds explore
+/// different schedules; a fixed seed replays the same one.
+class PctScheduleController : public SerializingScheduleController {
+ public:
+  PctScheduleController(int shards, uint64_t seed,
+                        double change_prob = 0.1);
+
+ protected:
+  int PickNext(const std::vector<int>& options) override REQUIRES(mu_);
+
+ private:
+  Rng rng_ GUARDED_BY(mu_);
+  std::vector<int64_t> priority_ GUARDED_BY(mu_);  // larger runs first
+  int64_t floor_ GUARDED_BY(mu_) = 0;  // next demotion priority
+  double change_prob_;
+};
+
+/// Exhaustive depth-first enumeration of the schedule tree for small
+/// worlds: each run follows the decided prefix, then takes the first
+/// untried branch at every new choice point. NextSchedule() advances
+/// the prefix to the next unexplored leaf; drive it as
+///
+///   ExhaustiveScheduleController ctrl(shards);
+///   do { <run the scenario with ctrl installed> }
+///   while (ctrl.NextSchedule() && <schedule budget left>);
+///
+/// Replaying a prefix CHECKs that the recorded option set reappears
+/// verbatim — if the program's choice points depend on the schedule,
+/// determinism is already broken and the harness reports it.
+class ExhaustiveScheduleController : public SerializingScheduleController {
+ public:
+  explicit ExhaustiveScheduleController(int shards);
+
+  /// Moves to the next unexplored schedule; false when the whole tree
+  /// has been visited. Call only between runs (pool drained).
+  bool NextSchedule() EXCLUDES(mu_);
+
+  /// Completed schedules so far (== leaves visited).
+  uint64_t schedules_run() const EXCLUDES(mu_);
+
+ protected:
+  int PickNext(const std::vector<int>& options) override REQUIRES(mu_);
+
+ private:
+  struct Choice {
+    std::vector<int> options;
+    size_t index;  // branch taken in the current run
+  };
+  std::vector<Choice> path_ GUARDED_BY(mu_);
+  size_t depth_ GUARDED_BY(mu_) = 0;  // position in the current run
+  uint64_t schedules_run_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_COMMON_SCHEDULE_H_

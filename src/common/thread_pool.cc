@@ -81,6 +81,11 @@ void ShardPool::Post(int shard, std::function<void()> task) {
     task();  // single-shard baseline: run on the posting thread
     return;
   }
+  // Announce BEFORE enqueueing: the controller's pending count must
+  // never lag behind a worker's AcquireSlot for this task.
+  ScheduleController* controller =
+      controller_.load(std::memory_order_acquire);
+  if (controller != nullptr) controller->TaskPosted(shard);
   {
     MutexLock lock(mu_);
     CHECK(!shutdown_) << "Post on a shut-down ShardPool";
@@ -97,10 +102,22 @@ void ShardPool::Barrier() {
 }
 
 void ShardPool::RunRound(const std::function<void(int)>& fn) {
+  ScheduleController* controller =
+      inlined() ? nullptr : controller_.load(std::memory_order_acquire);
+  if (controller != nullptr) controller->BatchBegin();
   for (int s = 0; s < shards_; ++s) {
     Post(s, [&fn, s] { fn(s); });
   }
+  if (controller != nullptr) controller->BatchEnd();
   Barrier();
+}
+
+void ShardPool::SetScheduleController(ScheduleController* controller) {
+  if (inlined()) return;  // a single thread is already a total order
+  MutexLock lock(mu_);
+  CHECK(queued_ == 0 && active_ == 0)
+      << "SetScheduleController on a busy ShardPool";
+  controller_.store(controller, std::memory_order_release);
 }
 
 void ShardPool::WorkerLoop(int shard) {
@@ -117,7 +134,11 @@ void ShardPool::WorkerLoop(int shard) {
       --queued_;
       ++active_;
     }
+    ScheduleController* controller =
+        controller_.load(std::memory_order_acquire);
+    if (controller != nullptr) controller->AcquireSlot(shard);
     task();
+    if (controller != nullptr) controller->ReleaseSlot(shard);
     {
       MutexLock lock(mu_);
       --active_;

@@ -26,6 +26,7 @@
 #ifndef DHS_COMMON_THREAD_POOL_H_
 #define DHS_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -50,7 +51,7 @@ class ThreadPool {
   explicit ThreadPool(int num_threads);
 
   /// Drains every queued task, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -67,13 +68,42 @@ class ThreadPool {
  private:
   void WorkerLoop() EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{"thread_pool"};
   CondVar work_cv_;  // signaled on new work / shutdown
   CondVar idle_cv_;  // signaled when the pool may have drained
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   int active_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
+};
+
+/// Test-only hook serializing ShardPool task execution into a
+/// controlled total order, so the schedule-exploration harness
+/// (common/schedule.h, audit_sim --interleave) can drive adversarial
+/// interleavings instead of whatever the OS scheduler produces.
+///
+/// Protocol, all calls made by the pool:
+///   * BatchBegin/BatchEnd bracket RunRound's posting loop — grants
+///     are held until the whole round is visible, which keeps the
+///     controller's choice points deterministic.
+///   * TaskPosted(shard) fires on the posting thread BEFORE the task
+///     is enqueued, so the controller's pending count is never behind
+///     a worker's AcquireSlot.
+///   * AcquireSlot(shard) fires on worker `shard` after it popped a
+///     task and blocks until the controller grants the slot;
+///     ReleaseSlot(shard) fires when the task completed.
+///
+/// Implementations must be thread-safe. Inline pools (shards <= 1)
+/// never invoke the controller: a single thread is already a total
+/// order.
+class ScheduleController {
+ public:
+  virtual ~ScheduleController() = default;
+  virtual void BatchBegin() = 0;
+  virtual void BatchEnd() = 0;
+  virtual void TaskPosted(int shard) = 0;
+  virtual void AcquireSlot(int shard) = 0;
+  virtual void ReleaseSlot(int shard) = 0;
 };
 
 /// One worker thread per shard, each with its own task queue, plus a
@@ -86,7 +116,7 @@ class ShardPool {
   explicit ShardPool(int shards);
 
   /// Drains every queue, then joins the workers.
-  ~ShardPool();
+  ~ShardPool() EXCLUDES(mu_);
 
   ShardPool(const ShardPool&) = delete;
   ShardPool& operator=(const ShardPool&) = delete;
@@ -103,7 +133,15 @@ class ShardPool {
   void Barrier() EXCLUDES(mu_);
 
   /// Convenience round: posts fn(shard) to every shard, then Barrier().
-  void RunRound(const std::function<void(int)>& fn);
+  /// When a controller is installed the posting loop is bracketed in
+  /// BatchBegin/BatchEnd so the whole round is one choice frontier.
+  void RunRound(const std::function<void(int)>& fn) EXCLUDES(mu_);
+
+  /// Installs (or clears, with nullptr) the schedule controller. Not
+  /// owned; must outlive its installation. Only legal while the pool
+  /// is idle (between Barrier and the next Post). Ignored on inline
+  /// pools.
+  void SetScheduleController(ScheduleController* controller) EXCLUDES(mu_);
 
   int shards() const { return shards_; }
 
@@ -114,13 +152,17 @@ class ShardPool {
   void WorkerLoop(int shard) EXCLUDES(mu_);
 
   int shards_ = 1;
-  Mutex mu_;
+  Mutex mu_{"shard_pool"};
   CondVar work_cv_;  // signaled on new work / shutdown
   CondVar idle_cv_;  // signaled when a worker may have drained
   std::vector<std::deque<std::function<void()>>> queues_ GUARDED_BY(mu_);
   int active_ GUARDED_BY(mu_) = 0;
   size_t queued_ GUARDED_BY(mu_) = 0;
   bool shutdown_ GUARDED_BY(mu_) = false;
+  // Atomic rather than GUARDED_BY(mu_): workers load it after popping
+  // a task, outside the queue lock; installation is fenced by the
+  // idle-pool precondition of SetScheduleController.
+  std::atomic<ScheduleController*> controller_{nullptr};
   std::vector<std::thread> threads_;
 };
 

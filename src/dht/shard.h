@@ -143,6 +143,15 @@ class ShardedNetwork {
   }
   int retry_attempts() const { return retry_attempts_; }
 
+  /// Test-only: installs (or clears, with nullptr) a schedule
+  /// controller on the engine's pool, so the interleaving harness
+  /// (common/schedule.h, audit_sim --interleave) chooses the task
+  /// order instead of the OS scheduler. Only legal between batches;
+  /// inline engines (shards <= 1) ignore it.
+  void SetScheduleController(ScheduleController* controller) {
+    pool_.SetScheduleController(controller);
+  }
+
   /// Re-installs the shard plan after out-of-band membership changes
   /// (AddNode/RemoveNode/FailNode called directly on the network).
   void Resync();

@@ -1,0 +1,37 @@
+#include "obs/sync_metrics.h"
+
+#include <string>
+
+#include "common/check.h"
+#include "common/sync.h"
+
+namespace dhs {
+
+namespace {
+
+void RaiseTo(MetricsRegistry* registry, const char* metric,
+             const std::string& mutex_name, uint64_t snapshot) {
+  Counter* counter =
+      registry->GetCounter(metric, {{"mutex", mutex_name}});
+  // Counters are monotone and so is the snapshot; export the delta so
+  // repeated calls settle on the snapshot instead of double-counting.
+  CHECK_GE(snapshot, counter->value())
+      << metric << "{mutex=" << mutex_name << "} went backwards";
+  counter->Increment(snapshot - counter->value());
+}
+
+}  // namespace
+
+void ExportSyncMetrics(MetricsRegistry* registry) {
+  for (const MutexProfile& profile : SnapshotMutexProfiles()) {
+    const std::string name = profile.name;
+    RaiseTo(registry, "sync_mutex_acquisitions_total", name,
+            profile.acquisitions);
+    RaiseTo(registry, "sync_mutex_contended_total", name,
+            profile.contended);
+    RaiseTo(registry, "sync_mutex_wait_ticks_total", name,
+            profile.wait_ns);
+  }
+}
+
+}  // namespace dhs

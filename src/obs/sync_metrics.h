@@ -1,0 +1,27 @@
+// Bridges the lock diagnostics in common/sync.h into the
+// MetricsRegistry: per-mutex-name contention counters become labeled
+// counter series. Lives in obs/ because dhs_common cannot depend on
+// dhs_obs — sync.h only exposes the SnapshotMutexProfiles() data, and
+// this translation unit owns the naming.
+
+#ifndef DHS_OBS_SYNC_METRICS_H_
+#define DHS_OBS_SYNC_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace dhs {
+
+/// Exports every known mutex profile into `registry` as
+///
+///   sync_mutex_acquisitions_total{mutex=<name>}
+///   sync_mutex_contended_total{mutex=<name>}
+///   sync_mutex_wait_ticks_total{mutex=<name>}   (nanoseconds)
+///
+/// Idempotent: each call raises every series to the current snapshot
+/// value (counters are monotone, so the delta since the last export is
+/// added), making it safe to call once per dump or repeatedly.
+void ExportSyncMetrics(MetricsRegistry* registry);
+
+}  // namespace dhs
+
+#endif  // DHS_OBS_SYNC_METRICS_H_

@@ -108,8 +108,8 @@ TEST_P(BaselineGeometryTest, SamplingExtrapolates) {
 
 INSTANTIATE_TEST_SUITE_P(BothGeometries, BaselineGeometryTest,
                          ::testing::Values(false, true),
-                         [](const auto& info) {
-                           return info.param ? "Kademlia" : "Chord";
+                         [](const auto& param_info) {
+                           return param_info.param ? "Kademlia" : "Chord";
                          });
 
 }  // namespace

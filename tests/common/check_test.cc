@@ -150,7 +150,9 @@ TEST_F(CheckTest, HandlerInstallFromTwoThreadsIsRaceFree) {
       }
     }
   };
+  // det-lint: allow(raw-threading) — exercises the CHECK handler under real thread contention
   std::thread a(contender);
+  // det-lint: allow(raw-threading) — exercises the CHECK handler under real thread contention
   std::thread b(contender);
   a.join();
   b.join();

@@ -28,6 +28,7 @@ TEST(SyncTest, MutexLockUnlockAndTryLock) {
   mu.Lock();
   // Already held: TryLock from another thread must fail, not block.
   bool acquired = true;
+  // det-lint: allow(raw-threading) — the sync primitives under test need raw threads beneath them
   std::thread probe([&mu, &acquired] {
     acquired = mu.TryLock();
     if (acquired) mu.Unlock();
@@ -51,6 +52,7 @@ TEST(SyncTest, GuardedCounterStress) {
 
   constexpr int kThreads = 8;
   constexpr int kIncrements = 10000;
+  // det-lint: allow(raw-threading) — the sync primitives under test need raw threads beneath them
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int i = 0; i < kThreads; ++i) {
@@ -77,6 +79,7 @@ TEST(SyncTest, CondVarHandsOffStateChanges) {
   } state;
   constexpr long kRounds = 1000;
 
+  // det-lint: allow(raw-threading) — the sync primitives under test need raw threads beneath them
   std::thread producer([&state] {
     for (long i = 0; i < kRounds; ++i) {
       MutexLock lock(state.mu);
@@ -89,6 +92,7 @@ TEST(SyncTest, CondVarHandsOffStateChanges) {
       state.cv.SignalAll();
     }
   });
+  // det-lint: allow(raw-threading) — the sync primitives under test need raw threads beneath them
   std::thread consumer([&state] {
     for (long i = 0; i < kRounds; ++i) {
       MutexLock lock(state.mu);
@@ -149,6 +153,7 @@ TEST(SyncTest, ConcurrentCheckFailuresEachFireTheHandler) {
   constexpr int kThreads = 8;
   constexpr int kFailuresPerThread = 200;
   std::atomic<int> caught{0};
+  // det-lint: allow(raw-threading) — the sync primitives under test need raw threads beneath them
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int i = 0; i < kThreads; ++i) {

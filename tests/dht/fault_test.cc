@@ -210,8 +210,8 @@ TEST_P(FaultInjectionTest, EveryMessageDrawsExactlyOneDecision) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BothGeometries, FaultInjectionTest,
-                         ::testing::Bool(), [](const auto& info) {
-                           return info.param ? "Chord" : "Kademlia";
+                         ::testing::Bool(), [](const auto& param_info) {
+                           return param_info.param ? "Chord" : "Kademlia";
                          });
 
 }  // namespace

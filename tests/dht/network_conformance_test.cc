@@ -276,8 +276,8 @@ TEST_P(NetworkConformanceTest, ClockExpiryIsGeometryIndependent) {
 INSTANTIATE_TEST_SUITE_P(AllGeometries, NetworkConformanceTest,
                          ::testing::Values(Geometry::kChord,
                                            Geometry::kKademlia),
-                         [](const auto& info) {
-                           return info.param == Geometry::kChord
+                         [](const auto& param_info) {
+                           return param_info.param == Geometry::kChord
                                       ? "Chord"
                                       : "Kademlia";
                          });

@@ -180,8 +180,8 @@ TEST_P(RingIndexTest, RoutesMatchBruteForceUnderChurn) {
 INSTANTIATE_TEST_SUITE_P(BothGeometries, RingIndexTest,
                          ::testing::Values(Geometry::kChord,
                                            Geometry::kKademlia),
-                         [](const ::testing::TestParamInfo<Geometry>& info) {
-                           return info.param == Geometry::kChord
+                         [](const ::testing::TestParamInfo<Geometry>& param_info) {
+                           return param_info.param == Geometry::kChord
                                       ? "Chord"
                                       : "Kademlia";
                          });

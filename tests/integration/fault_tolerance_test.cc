@@ -400,8 +400,8 @@ TEST_P(GeometryFaultTest, FaultedCountsAreDeterministicUnderFixedSeeds) {
 INSTANTIATE_TEST_SUITE_P(BothGeometries, GeometryFaultTest,
                          ::testing::Values(Geometry::kChord,
                                            Geometry::kKademlia),
-                         [](const auto& info) {
-                           return info.param == Geometry::kChord
+                         [](const auto& param_info) {
+                           return param_info.param == Geometry::kChord
                                       ? "Chord"
                                       : "Kademlia";
                          });

@@ -136,8 +136,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ReconcileCase{"ChordFaulted", false, true},
                       ReconcileCase{"KademliaClean", true, false},
                       ReconcileCase{"KademliaFaulted", true, true}),
-    [](const ::testing::TestParamInfo<ReconcileCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ReconcileCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

@@ -139,8 +139,8 @@ TEST_P(SketchPropertyTest, ClearRestoresEmptyState) {
 INSTANTIATE_TEST_SUITE_P(AllSketches, SketchPropertyTest,
                          ::testing::Values(Kind::kPcsa, Kind::kLogLog,
                                            Kind::kHll),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case Kind::kPcsa:
                                return "Pcsa";
                              case Kind::kLogLog:

@@ -65,9 +65,23 @@
 // zero tolerance. Incompatible with --crash (the engine freezes
 // membership during a batch).
 //
+// Interleaving mode (--interleave=N, defaulting --shards to 4): the
+// adversarial schedule explorer. One 1-shard engine run pins the
+// oracle world digest (clock, stats, loads, every store record), then
+// N runs of the K-shard engine execute under a ScheduleController
+// that serializes every ShardPool hand-off and picks the next task
+// itself — PCT random-priority schedules by default, exhaustive
+// depth-first enumeration of the schedule tree with
+// --interleave-mode=exhaustive — and each schedule must reproduce the
+// oracle digest byte-for-byte. This turns PR 6's "byte-identical at
+// any shard count" claim into a property checked across many
+// schedules instead of whichever one the OS produced. Composes with
+// --drop/--timeout (not --crash).
+//
 // Usage: audit_sim [--geometry=chord|kademlia|both] [--steps=10000]
 //                  [--seed=1] [--estimator=sll|pcsa|hll]
 //                  [--shards=1] [--schedules=1] [--jobs=0 (hardware)]
+//                  [--interleave=N] [--interleave-mode=pct|exhaustive]
 //                  [--drop=P] [--timeout=P] [--crash=P]
 //                  [--trace-out=PATH] [--metrics-out=PATH]
 //
@@ -85,11 +99,13 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "common/schedule.h"
 #include "common/thread_pool.h"
 #include "dhs/client.h"
 #include "dhs/front_door.h"
@@ -293,6 +309,19 @@ struct SimOptions {
   std::string trace_out;    // per-world Chrome trace JSON (empty = off)
   std::string metrics_out;  // per-world metrics JSON (empty = off)
   bool multi_world = false;  // several worlds share the output paths
+  /// > 0: adversarial schedule exploration. Runs the scenario once on
+  /// the 1-shard engine oracle, then up to N controlled interleavings
+  /// of the K-shard engine (PCT random priorities, or exhaustive
+  /// enumeration with --interleave-mode=exhaustive) and requires every
+  /// schedule to reproduce the oracle's world digest byte-for-byte.
+  int interleave = 0;
+  bool interleave_exhaustive = false;
+  /// Route ops through the sharded engine even at shards == 1 (the
+  /// inline-pool oracle the interleaved runs are compared against; the
+  /// sequential client differs in probe accounting by contract).
+  bool force_engine = false;
+  /// Installed on the engine's pool right after Bootstrap (not owned).
+  ScheduleController* schedule_controller = nullptr;
 };
 
 class DifferentialSim {
@@ -356,6 +385,39 @@ class DifferentialSim {
     return line;
   }
 
+  /// Serializes every world observable — clock, message/fault stats,
+  /// per-node load counters, every live store record — into one string.
+  /// Two runs of the same scenario must produce identical bytes for
+  /// the engine's determinism contract to hold; the interleave driver
+  /// compares controlled-schedule runs against the 1-shard oracle with
+  /// this digest. Call after Run().
+  std::string WorldDigest() const {
+    std::ostringstream os;
+    os << "now " << net_->now() << " stats " << net_->stats().messages
+       << ' ' << net_->stats().hops << ' ' << net_->stats().bytes
+       << " storage " << net_->TotalStorageBytes() << '\n';
+    const FaultStats& fs = net_->fault_plan().stats();
+    os << "faults " << fs.drops << ' ' << fs.timeouts << ' ' << fs.crashes
+       << '\n';
+    for (const auto& [id, load] : net_->Loads()) {
+      os << "load " << id << ' ' << load.routed << ' ' << load.served
+         << ' ' << load.stores << ' ' << load.probes << '\n';
+    }
+    for (uint64_t id : net_->NodeIds()) {
+      net_->StoreAt(id)->ForEach(
+          net_->now(), [&](const StoreKey& key, const StoreRecord& rec) {
+            if (key.is_dhs()) {
+              os << "dhs " << id << ' ' << key.metric_id() << ' '
+                 << key.bit() << ' ' << key.vector_id();
+            } else {
+              os << "raw " << id << ' ' << key.raw() << ' ' << rec.value;
+            }
+            os << ' ' << rec.expires_at << '\n';
+          });
+    }
+    return os.str();
+  }
+
  private:
   static std::unique_ptr<DhtNetwork> MakeNetwork(Geometry geometry) {
     OverlayConfig config;
@@ -397,12 +459,13 @@ class DifferentialSim {
     CHECK_OK(client) << "bootstrap client";
     client_ = std::make_unique<DhsClient>(std::move(client.value()));
 
-    if (options_.shards > 1) {
+    if (options_.shards > 1 || options_.force_engine) {
       CHECK(options_.faults.crash_probability == 0.0)
           << "--shards is incompatible with --crash: the sharded engine "
           << "freezes membership during a batch and rejects crash faults";
       engine_ =
           std::make_unique<ShardedNetwork>(net_.get(), options_.shards);
+      engine_->SetScheduleController(options_.schedule_controller);
       auto front = DhsFrontDoor::Create(engine_.get(), config);
       CHECK_OK(front) << "bootstrap front door";
       front_ = std::make_unique<DhsFrontDoor>(std::move(front.value()));
@@ -984,6 +1047,79 @@ class DifferentialSim {
   size_t crash_log_seen_ = 0;
 };
 
+/// Adversarial schedule exploration (--interleave=N): per geometry,
+/// one 1-shard engine-oracle run pins the expected world digest, then
+/// up to N controlled interleavings of the K-shard engine — every task
+/// hand-off decided by the controller instead of the OS — must
+/// reproduce it byte-for-byte. PCT mode draws a fresh random-priority
+/// schedule per run; exhaustive mode enumerates the schedule tree
+/// depth-first until it is exhausted or the budget runs out.
+int RunInterleave(const SimOptions& base,
+                  const std::vector<Geometry>& geometries) {
+  for (Geometry g : geometries) {
+    SimOptions oracle_opts = base;
+    oracle_opts.geometry = g;
+    oracle_opts.shards = 1;
+    oracle_opts.force_engine = true;
+    oracle_opts.schedule_controller = nullptr;
+    DifferentialSim oracle(oracle_opts);
+    std::fputs(oracle.Run().c_str(), stdout);
+    const std::string want = oracle.WorldDigest();
+
+    int explored = 0;
+    uint64_t controlled_steps = 0;
+    if (base.interleave_exhaustive) {
+      ExhaustiveScheduleController controller(base.shards);
+      bool more = true;
+      while (more && explored < base.interleave) {
+        SimOptions o = base;
+        o.geometry = g;
+        o.schedule_controller = &controller;
+        DifferentialSim sim(o);
+        sim.Run();
+        CHECK(sim.WorldDigest() == want)
+            << "exhaustive schedule " << explored << " ("
+            << (g == Geometry::kChord ? "chord" : "kademlia")
+            << ") diverged from the 1-shard oracle digest";
+        ++explored;
+        controlled_steps = controller.steps();
+        more = controller.NextSchedule();
+      }
+      std::printf("audit_sim: %s: %d exhaustive schedules%s, %" PRIu64
+                  " controlled hand-offs, all byte-identical to the "
+                  "oracle\n",
+                  g == Geometry::kChord ? "chord" : "kademlia", explored,
+                  more ? " (budget reached)" : " (tree exhausted)",
+                  controlled_steps);
+    } else {
+      for (; explored < base.interleave; ++explored) {
+        // Decorrelated per-schedule PCT seed, reproducible from --seed.
+        PctScheduleController controller(
+            base.shards,
+            SplitMix64(base.seed ^
+                       (static_cast<uint64_t>(explored) + 1) *
+                           0x9e3779b97f4a7c15ull));
+        SimOptions o = base;
+        o.geometry = g;
+        o.schedule_controller = &controller;
+        DifferentialSim sim(o);
+        sim.Run();
+        CHECK(sim.WorldDigest() == want)
+            << "PCT schedule " << explored << " ("
+            << (g == Geometry::kChord ? "chord" : "kademlia")
+            << ") diverged from the 1-shard oracle digest";
+        controlled_steps += controller.steps();
+      }
+      std::printf("audit_sim: %s: %d PCT schedules at %d shards, %" PRIu64
+                  " controlled hand-offs, all byte-identical to the "
+                  "oracle\n",
+                  g == Geometry::kChord ? "chord" : "kademlia", explored,
+                  base.shards, controlled_steps);
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   SimOptions options;
   bool both = true;  // default: both geometries, one report each
@@ -1009,6 +1145,12 @@ int Main(int argc, char** argv) {
       options.estimator = DhsEstimator::kHyperLogLog;
     } else if (arg.rfind("--shards=", 0) == 0) {
       options.shards = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--interleave=", 0) == 0) {
+      options.interleave = std::atoi(arg.c_str() + 13);
+    } else if (arg == "--interleave-mode=pct") {
+      options.interleave_exhaustive = false;
+    } else if (arg == "--interleave-mode=exhaustive") {
+      options.interleave_exhaustive = true;
     } else if (arg.rfind("--schedules=", 0) == 0) {
       options.schedules = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -1029,6 +1171,7 @@ int Main(int argc, char** argv) {
                    "usage: audit_sim [--geometry=chord|kademlia|both] "
                    "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll] "
                    "[--shards=K] [--schedules=K] [--jobs=J] "
+                   "[--interleave=N] [--interleave-mode=pct|exhaustive] "
                    "[--drop=P] [--timeout=P] [--crash=P] "
                    "[--trace-out=PATH] [--metrics-out=PATH]\n");
       return 2;
@@ -1045,6 +1188,11 @@ int Main(int argc, char** argv) {
     geometries = {options.geometry};
   }
   options.multi_world = geometries.size() * static_cast<size_t>(options.schedules) > 1;
+
+  if (options.interleave > 0) {
+    if (options.shards < 2) options.shards = 4;  // controller needs workers
+    return RunInterleave(options, geometries);
+  }
 
   // Each schedule is one fully independent world per geometry; RunTrials
   // spreads schedules over the worker pool and returns their reports in
