@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "dht/fault.h"
 
@@ -65,8 +66,9 @@ void Run() {
         config.replication = variant.replication;
         config.shift_bits = variant.shift_bits;
         config.lim = variant.lim;
-        DhsClient client =
-            std::move(DhsClient::Create(net.get(), config).value());
+        auto client_or = DhsClient::Create(net.get(), config);
+        CHECK_OK(client_or);
+        DhsClient client = std::move(client_or).value();
         Rng rng(9000 + trial * 131 +
                 static_cast<uint64_t>(1000 * failure_fraction));
         (void)PopulateRelation(*net, client, relation, 1, rng);
@@ -131,8 +133,9 @@ void RunMessageFaults() {
         config.k = 24;
         config.m = m;
         config.replication = replication;
-        DhsClient client =
-            std::move(DhsClient::Create(net.get(), config).value());
+        auto client_or = DhsClient::Create(net.get(), config);
+        CHECK_OK(client_or);
+        DhsClient client = std::move(client_or).value();
         Rng rng(7400 + trial * 131 +
                 static_cast<uint64_t>(1000 * drop));
         // Populate over a reliable network; the ablation targets the

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "dhs/lim.h"
 
@@ -39,10 +40,13 @@ void Run() {
     config.k = 24;
     config.m = m;
     config.lim = lim;
-    DhsClient sll = std::move(DhsClient::Create(net.get(), config).value());
+    auto sll_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(sll_or);
+    DhsClient sll = std::move(sll_or).value();
     config.estimator = DhsEstimator::kPcsa;
-    DhsClient pcsa =
-        std::move(DhsClient::Create(net.get(), config).value());
+    auto pcsa_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(pcsa_or);
+    DhsClient pcsa = std::move(pcsa_or).value();
 
     Rng rng(600 + lim);
     (void)PopulateRelation(*net, sll, relation, 1, rng);

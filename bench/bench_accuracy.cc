@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 
 namespace dhs {
@@ -58,14 +59,17 @@ void Run() {
         DhsConfig config;
         config.k = 24;
         config.m = m;
-        DhsClient sll =
-            std::move(DhsClient::Create(net.get(), config).value());
+        auto sll_or = DhsClient::Create(net.get(), config);
+        CHECK_OK(sll_or);
+        DhsClient sll = std::move(sll_or).value();
         config.estimator = DhsEstimator::kPcsa;
-        DhsClient pcsa =
-            std::move(DhsClient::Create(net.get(), config).value());
+        auto pcsa_or = DhsClient::Create(net.get(), config);
+        CHECK_OK(pcsa_or);
+        DhsClient pcsa = std::move(pcsa_or).value();
         config.estimator = DhsEstimator::kHyperLogLog;
-        DhsClient hll =
-            std::move(DhsClient::Create(net.get(), config).value());
+        auto hll_or = DhsClient::Create(net.get(), config);
+        CHECK_OK(hll_or);
+        DhsClient hll = std::move(hll_or).value();
 
         (void)PopulateRelation(*net, sll, relation, 1, rng);
 

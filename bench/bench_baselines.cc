@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <set>
 
+#include "common/check.h"
 #include "baselines/central_counter.h"
 #include "baselines/convergecast.h"
 #include "baselines/gossip.h"
@@ -78,11 +79,13 @@ void Run() {
     DhsConfig config;
     config.k = 24;
     config.m = 512;
-    DhsClient sll =
-        std::move(DhsClient::Create(net.get(), config).value());
+    auto sll_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(sll_or);
+    DhsClient sll = std::move(sll_or).value();
     config.estimator = DhsEstimator::kPcsa;
-    DhsClient pcsa =
-        std::move(DhsClient::Create(net.get(), config).value());
+    auto pcsa_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(pcsa_or);
+    DhsClient pcsa = std::move(pcsa_or).value();
     for (const auto& [node, items] : local_items) {
       // Live origins only; failures would skew the printed estimates.
       (void)sll.InsertBatch(node, 1, items, rng);

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 
 namespace dhs {
@@ -35,9 +36,12 @@ void Run() {
     config.k = 24;
     config.m = m;
     auto client_or = DhsClient::Create(net.get(), config);
-    DhsClient sll = std::move(client_or.value());
+    CHECK_OK(client_or);
+    DhsClient sll = std::move(client_or).value();
     config.estimator = DhsEstimator::kPcsa;
-    DhsClient pcsa = std::move(DhsClient::Create(net.get(), config).value());
+    auto pcsa_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(pcsa_or);
+    DhsClient pcsa = std::move(pcsa_or).value();
 
     Rng rng(100 + m);
     std::vector<uint64_t> truths;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "dht/kademlia.h"
 
@@ -21,9 +22,13 @@ void RunGeometry(DhtNetwork* net, const char* label, double scale,
   DhsConfig config;
   config.k = 24;
   config.m = 512;
-  DhsClient sll = std::move(DhsClient::Create(net, config).value());
+  auto sll_or = DhsClient::Create(net, config);
+  CHECK_OK(sll_or);
+  DhsClient sll = std::move(sll_or).value();
   config.estimator = DhsEstimator::kPcsa;
-  DhsClient pcsa = std::move(DhsClient::Create(net, config).value());
+  auto pcsa_or = DhsClient::Create(net, config);
+  CHECK_OK(pcsa_or);
+  DhsClient pcsa = std::move(pcsa_or).value();
 
   RelationSpec spec = PaperRelationSpecs(scale)[2];  // S
   const Relation relation = RelationGenerator::Generate(spec, 12);

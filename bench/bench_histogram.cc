@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 
 namespace dhs {
@@ -39,10 +40,13 @@ void Run() {
     DhsConfig config;
     config.k = 24;
     config.m = m;
-    DhsClient sll = std::move(DhsClient::Create(net.get(), config).value());
+    auto sll_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(sll_or);
+    DhsClient sll = std::move(sll_or).value();
     config.estimator = DhsEstimator::kPcsa;
-    DhsClient pcsa =
-        std::move(DhsClient::Create(net.get(), config).value());
+    auto pcsa_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(pcsa_or);
+    DhsClient pcsa = std::move(pcsa_or).value();
 
     Rng rng(400 + m);
     std::vector<DhsHistogram> sll_hists;

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "histogram/equi_width.h"
 
@@ -39,8 +40,9 @@ void Run() {
     DhsConfig config;
     config.k = 24;
     config.m = m;
-    DhsClient client =
-        std::move(DhsClient::Create(net.get(), config).value());
+    auto client_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(client_or);
+    DhsClient client = std::move(client_or).value();
 
     Rng rng(500 + m);
     double weighted_error_sum = 0.0;

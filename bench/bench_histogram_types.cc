@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "histogram/advanced.h"
 #include "histogram/equi_width.h"
@@ -73,7 +74,9 @@ void Run() {
   DhsConfig config;
   config.k = 24;
   config.m = m;
-  DhsClient client = std::move(DhsClient::Create(net.get(), config).value());
+  auto client_or = DhsClient::Create(net.get(), config);
+  CHECK_OK(client_or);
+  DhsClient client = std::move(client_or).value();
 
   RelationSpec spec = PaperRelationSpecs(scale)[3];  // T, most skewed mass
   const Relation relation = RelationGenerator::Generate(spec, 13);

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/check.h"
 #include "histogram/equi_width.h"
 
 namespace dhs {
@@ -89,7 +90,8 @@ void Run() {
   // storage experiment: 100 buckets x 512 bitmaps per relation).
   auto hist_net = MakeNetwork(nodes, 3);
   auto hist_client_or = DhsClient::Create(hist_net.get(), config);
-  DhsClient hist_client = std::move(hist_client_or.value());
+  CHECK_OK(hist_client_or);
+  DhsClient hist_client = std::move(hist_client_or).value();
   const HistogramSpec hspec(1, 1000, 100);
   size_t prev = 0;
   PrintRow({"relation", "histogram storage kB/node (100 buckets, m=512)"});

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/check.h"
 #include "baselines/central_counter.h"
 #include "bench_util.h"
 #include "hashing/hasher.h"
@@ -65,8 +66,9 @@ void Run() {
         DhsConfig config;
         config.k = 24;
         config.m = 512;
-        DhsClient client =
-            std::move(DhsClient::Create(net.get(), config).value());
+        auto client_or = DhsClient::Create(net.get(), config);
+        CHECK_OK(client_or);
+        DhsClient client = std::move(client_or).value();
         net->ResetLoads();
         (void)PopulateRelation(*net, client, relation, 1, rng);
         for (int t = 0; t < 20; ++t) {

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "dhs/maintainer.h"
 #include "hashing/hasher.h"
@@ -40,8 +41,9 @@ void Run() {
     config.k = 24;
     config.m = 128;
     config.ttl_ticks = static_cast<uint64_t>(2 * refresh_period);
-    DhsClient client =
-        std::move(DhsClient::Create(net.get(), config).value());
+    auto client_or = DhsClient::Create(net.get(), config);
+    CHECK_OK(client_or);
+    DhsClient client = std::move(client_or).value();
     DhsMaintainer maintainer(&client);
 
     Rng rng(100 + refresh_period);

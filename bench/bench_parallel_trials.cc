@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "bench_util.h"
 
 namespace dhs {
@@ -68,8 +69,9 @@ void Run() {
       DhsConfig config;
       config.k = 24;
       config.m = 512;
-      DhsClient client =
-          std::move(DhsClient::Create(net.get(), config).value());
+      auto client_or = DhsClient::Create(net.get(), config);
+      CHECK_OK(client_or);
+      DhsClient client = std::move(client_or).value();
       std::vector<uint64_t> batch(static_cast<size_t>(items));
       for (auto& item : batch) item = rng.Next();
       // A live overlay cannot fail an insert; cost is not measured here.

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "bench_util.h"
 #include "histogram/equi_width.h"
 #include "queryopt/optimizer.h"
@@ -34,7 +35,9 @@ void Run() {
   DhsConfig config;
   config.k = 24;
   config.m = m;
-  DhsClient client = std::move(DhsClient::Create(net.get(), config).value());
+  auto client_or = DhsClient::Create(net.get(), config);
+  CHECK_OK(client_or);
+  DhsClient client = std::move(client_or).value();
 
   // Key/foreign-key-like joins: the shared attribute domain is as large
   // as the biggest relation, so equi-joins select rather than multiply

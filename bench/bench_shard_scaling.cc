@@ -110,8 +110,9 @@ void AppendDigest(std::ostringstream& os, const DhtNetwork& net) {
 LegResult RunPopulate(int nodes, int items, int shards) {
   auto net = BuildWorld(nodes, /*seed=*/0x5ca1e);
   ShardedNetwork engine(net.get(), shards);
-  DhsFrontDoor fd =
-      std::move(DhsFrontDoor::Create(&engine, BenchConfig()).value());
+  auto fd_or = DhsFrontDoor::Create(&engine, BenchConfig());
+  CHECK_OK(fd_or);
+  DhsFrontDoor fd = std::move(fd_or).value();
   Rng rng(0xba7c4);
   std::ostringstream digest;
   LegResult leg;
@@ -139,8 +140,9 @@ LegResult RunPopulate(int nodes, int items, int shards) {
 LegResult RunMixed(int nodes, int items, int shards) {
   auto net = BuildWorld(nodes, /*seed=*/0x301d);
   ShardedNetwork engine(net.get(), shards);
-  DhsFrontDoor fd =
-      std::move(DhsFrontDoor::Create(&engine, BenchConfig()).value());
+  auto fd_or = DhsFrontDoor::Create(&engine, BenchConfig());
+  CHECK_OK(fd_or);
+  DhsFrontDoor fd = std::move(fd_or).value();
   Rng rng(0x777);
   std::ostringstream digest;
   LegResult leg;
@@ -175,7 +177,9 @@ LegResult RunChurn(int nodes, int items, int shards) {
   ShardedNetwork engine(net.get(), shards);
   DhsConfig config = BenchConfig();
   config.ttl_ticks = 64;
-  DhsFrontDoor fd = std::move(DhsFrontDoor::Create(&engine, config).value());
+  auto fd_or = DhsFrontDoor::Create(&engine, config);
+  CHECK_OK(fd_or);
+  DhsFrontDoor fd = std::move(fd_or).value();
   Rng rng(0x0c9);
   std::ostringstream digest;
   LegResult leg;
@@ -264,8 +268,9 @@ void Run() {
     const double build_wall =
         std::chrono::duration<double>(Clock::now() - t0).count();
     ShardedNetwork engine(net.get(), 8);
-    DhsFrontDoor fd =
-        std::move(DhsFrontDoor::Create(&engine, BenchConfig()).value());
+    auto fd_or = DhsFrontDoor::Create(&engine, BenchConfig());
+    CHECK_OK(fd_or);
+    DhsFrontDoor fd = std::move(fd_or).value();
     Rng rng(0x1e6);
     Leg populate;
     populate.workload = "million_populate";

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/bit_util.h"
+
 namespace dhs {
 
 std::string StoreKey::ToBytes() const {
@@ -11,24 +13,17 @@ std::string StoreKey::ToBytes() const {
   std::string bytes;
   bytes.reserve(kDhsEncodedBytes);
   bytes.push_back('D');
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    bytes.push_back(static_cast<char>((metric_ >> shift) & 0xff));
-  }
+  AppendBE64(bytes, metric_);
   bytes.push_back(static_cast<char>(bit_));
-  bytes.push_back(static_cast<char>((vector_ >> 8) & 0xff));
-  bytes.push_back(static_cast<char>(vector_ & 0xff));
+  AppendBE16(bytes, static_cast<uint16_t>(vector_));
   return bytes;
 }
 
 StoreKey StoreKey::FromBytes(const std::string& bytes) {
   if (bytes.size() == kDhsEncodedBytes && bytes[0] == 'D') {
-    uint64_t metric = 0;
-    for (size_t i = 1; i <= 8; ++i) {
-      metric = (metric << 8) | static_cast<uint8_t>(bytes[i]);
-    }
+    const uint64_t metric = LoadBE64(bytes.data() + 1);
     const int bit = static_cast<uint8_t>(bytes[9]);
-    const int vector = (static_cast<uint8_t>(bytes[10]) << 8) |
-                       static_cast<uint8_t>(bytes[11]);
+    const int vector = LoadBE16(bytes.data() + 10);
     return Dhs(metric, bit, vector);
   }
   return StoreKey(bytes);

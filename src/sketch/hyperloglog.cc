@@ -109,11 +109,8 @@ std::vector<int> HllSketch::ObservablesM() const {
 std::string HllSketch::Serialize() const {
   std::string out;
   out.reserve(SerializedBytes());
-  auto put_u32 = [&out](uint32_t x) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(x >> (8 * i)));
-  };
-  put_u32(static_cast<uint32_t>(num_bitmaps_));
-  put_u32(static_cast<uint32_t>(bits_));
+  AppendLE32(out, static_cast<uint32_t>(num_bitmaps_));
+  AppendLE32(out, static_cast<uint32_t>(bits_));
   for (int8_t r : registers_) {
     out.push_back(r < 0 ? static_cast<char>(0xff) : static_cast<char>(r));
   }
@@ -122,15 +119,8 @@ std::string HllSketch::Serialize() const {
 
 StatusOr<HllSketch> HllSketch::Deserialize(const std::string& data) {
   if (data.size() < 8) return Status::InvalidArgument("hll: short header");
-  auto get_u32 = [&data](size_t off) {
-    uint32_t x = 0;
-    for (int i = 3; i >= 0; --i) {
-      x = (x << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
-    }
-    return x;
-  };
-  const uint32_t m = get_u32(0);
-  const uint32_t bits = get_u32(4);
+  const uint32_t m = LoadLE32(data.data());
+  const uint32_t bits = LoadLE32(data.data() + 4);
   if (m < 16 || m > (1u << 16) || !IsPowerOfTwo(m) || bits < 4 ||
       bits > 64) {
     return Status::InvalidArgument("hll: bad parameters");

@@ -71,11 +71,8 @@ std::vector<int> LogLogSketch::ObservablesM() const {
 std::string LogLogSketch::Serialize() const {
   std::string out;
   out.reserve(SerializedBytes());
-  auto put_u32 = [&out](uint32_t x) {
-    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(x >> (8 * i)));
-  };
-  put_u32(static_cast<uint32_t>(num_bitmaps_));
-  put_u32(static_cast<uint32_t>(bits_));
+  AppendLE32(out, static_cast<uint32_t>(num_bitmaps_));
+  AppendLE32(out, static_cast<uint32_t>(bits_));
   out.push_back(mode_ == Mode::kPlain ? 0 : 1);
   for (int8_t r : registers_) {
     out.push_back(r < 0 ? static_cast<char>(0xff) : static_cast<char>(r));
@@ -85,15 +82,8 @@ std::string LogLogSketch::Serialize() const {
 
 StatusOr<LogLogSketch> LogLogSketch::Deserialize(const std::string& data) {
   if (data.size() < 9) return Status::InvalidArgument("loglog: short header");
-  auto get_u32 = [&data](size_t off) {
-    uint32_t x = 0;
-    for (int i = 3; i >= 0; --i) {
-      x = (x << 8) | static_cast<uint8_t>(data[off + static_cast<size_t>(i)]);
-    }
-    return x;
-  };
-  const uint32_t m = get_u32(0);
-  const uint32_t bits = get_u32(4);
+  const uint32_t m = LoadLE32(data.data());
+  const uint32_t bits = LoadLE32(data.data() + 4);
   const uint8_t mode_byte = static_cast<uint8_t>(data[8]);
   if (m < 2 || m > (1u << 16) || !IsPowerOfTwo(m) || bits < 4 || bits > 64 ||
       mode_byte > 1) {

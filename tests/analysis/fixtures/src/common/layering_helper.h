@@ -1,0 +1,14 @@
+// Fixture: helper for the layering negatives (a plain common header).
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_HELPER_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_HELPER_H_
+
+#include <cstdint>
+
+namespace dhs_fixture {
+
+inline uint32_t HelperValue() { return 7; }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_HELPER_H_

@@ -1,0 +1,17 @@
+// Fixture: NEGATIVE for layer-dep — common including common is always
+// allowed (same module), and system headers are never layering edges.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_NEG_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_NEG_H_
+
+#include <cstdint>
+
+#include "common/layering_helper.h"
+
+namespace dhs_fixture {
+
+inline uint32_t CommonUsingCommon() { return HelperValue(); }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_NEG_H_

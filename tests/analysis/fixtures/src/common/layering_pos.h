@@ -1,0 +1,15 @@
+// Fixture: POSITIVE for layer-dep — common is the bottom layer and
+// must not include anything above itself.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_POS_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_POS_H_
+
+#include "dht/dep.h"  // expect-finding: layer-dep
+
+namespace dhs_fixture {
+
+inline int CommonUsingDht() { return DhtLayerValue(); }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LAYERING_POS_H_

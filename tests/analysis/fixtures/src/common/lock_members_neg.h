@@ -1,0 +1,37 @@
+// Fixture: NEGATIVE for lock-unguarded-member — every sibling of the
+// mutex is accounted for: GUARDED_BY annotation, const (immutable),
+// atomic (its own synchronization), CondVar (used with the mutex), or
+// an explicit waiver with the synchronization story.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LOCK_MEMBERS_NEG_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LOCK_MEMBERS_NEG_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace dhs_fixture {
+
+class GuardedCounter {
+ public:
+  void Add(uint64_t n) {
+    dhs::MutexLock lock(mu_);
+    hits_ += n;
+    cv_.SignalAll();
+  }
+
+ private:
+  dhs::Mutex mu_{"fixture_guarded"};
+  dhs::CondVar cv_;
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  const int capacity_ = 64;
+  std::atomic<uint64_t> fast_path_{0};
+  // Set once before any thread can observe this object.
+  // dhs-analyze: allow(lock-unguarded-member)
+  uint64_t config_epoch_ = 0;
+};
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LOCK_MEMBERS_NEG_H_

@@ -1,0 +1,30 @@
+// Fixture: POSITIVE for lock-unguarded-member — a class that owns a
+// Mutex must say, per sibling field, whether that mutex guards it
+// (GUARDED_BY), or why not (const/atomic/waiver). `hits_` says
+// nothing, which is exactly the latent-race shape the checker exists
+// to catch.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LOCK_MEMBERS_POS_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LOCK_MEMBERS_POS_H_
+
+#include <cstdint>
+
+#include "common/sync.h"
+
+namespace dhs_fixture {
+
+class UnguardedCounter {
+ public:
+  void Add(uint64_t n) {
+    dhs::MutexLock lock(mu_);
+    hits_ += n;
+  }
+
+ private:
+  dhs::Mutex mu_{"fixture_unguarded"};
+  uint64_t hits_ = 0;  // expect-finding: lock-unguarded-member
+};
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_COMMON_LOCK_MEMBERS_POS_H_

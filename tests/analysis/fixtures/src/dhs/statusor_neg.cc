@@ -1,0 +1,36 @@
+// Fixture: NEGATIVES for statusor-unchecked — the two blessed
+// establishers (an ok() test that dominates the access, and CHECK_OK
+// on the bound StatusOr), plus status()-only access, which never
+// touches the value.
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dhs_fixture {
+
+inline dhs::StatusOr<uint64_t> ParseSize(const std::string& text) {
+  if (text.empty()) return dhs::Status::InvalidArgument("empty");
+  return static_cast<uint64_t>(text.size());
+}
+
+inline uint64_t GuardedByOkTest(const std::string& text) {
+  dhs::StatusOr<uint64_t> size_or = ParseSize(text);
+  if (!size_or.ok()) return 0;
+  return size_or.value();
+}
+
+inline uint64_t GuardedByCheckOk(const std::string& text) {
+  dhs::StatusOr<uint64_t> size_or = ParseSize(text);
+  CHECK_OK(size_or);
+  return size_or.value();
+}
+
+inline std::string StatusOnly(const std::string& text) {
+  dhs::StatusOr<uint64_t> size_or = ParseSize(text);
+  return size_or.status().ToString();
+}
+
+}  // namespace dhs_fixture

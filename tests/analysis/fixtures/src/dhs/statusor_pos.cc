@@ -1,0 +1,27 @@
+// Fixture: POSITIVES for statusor-unchecked — .value() reached without
+// an ok() / CHECK_OK establisher in the same function, in both shapes
+// the checker knows: a bound StatusOr local, and a .value() chained
+// straight onto a StatusOr-returning call's temporary.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dhs_fixture {
+
+inline dhs::StatusOr<uint64_t> ParseCount(const std::string& text) {
+  if (text.empty()) return dhs::Status::InvalidArgument("empty");
+  return static_cast<uint64_t>(text.size());
+}
+
+inline uint64_t UseWithoutCheck(const std::string& text) {
+  dhs::StatusOr<uint64_t> count_or = ParseCount(text);
+  return count_or.value();  // expect-finding: statusor-unchecked
+}
+
+inline uint64_t ChainOnTemporary(const std::string& text) {
+  return ParseCount(text).value();  // expect-finding: statusor-unchecked
+}
+
+}  // namespace dhs_fixture

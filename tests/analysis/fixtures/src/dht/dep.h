@@ -1,0 +1,14 @@
+// Fixture: an innocuous dht-layer header for layering fixtures to
+// include. (Part of the dhs_analyze self-test tree; see
+// tests/analysis/analyzer_test.py.)
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_DHT_DEP_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_DHT_DEP_H_
+
+namespace dhs_fixture {
+
+inline int DhtLayerValue() { return 4; }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_DHT_DEP_H_

@@ -1,0 +1,41 @@
+// Fixture: NEGATIVE for lock-blocking-call — the disciplined shape:
+// snapshot state under the lock, release it (scope ends), then submit
+// to the pool and wait with no lock held. CondVar::Wait holding only
+// the waited mutex is also fine: Wait releases that mutex while
+// blocked.
+
+#include "common/sync.h"
+#include "common/thread_pool.h"
+
+namespace dhs_fixture {
+
+class PoliteFanout {
+ public:
+  void FanOutAfterUnlock() {
+    int snapshot = 0;
+    {
+      dhs::MutexLock lock(mu_);
+      snapshot = pending_;
+    }
+    if (snapshot > 0) {
+      pool_.Submit([] {});
+      pool_.Wait();
+    }
+  }
+
+  void WaitReleasesTheWaitedMutex() {
+    dhs::MutexLock lock(mu_);
+    while (pending_ == 0) {
+      cv_.Wait(mu_);  // releases mu_ while blocked: allowed
+    }
+    pending_--;
+  }
+
+ private:
+  dhs::Mutex mu_{"fixture_polite"};
+  dhs::CondVar cv_;
+  int pending_ GUARDED_BY(mu_) = 0;
+  dhs::ThreadPool pool_{1};
+};
+
+}  // namespace dhs_fixture

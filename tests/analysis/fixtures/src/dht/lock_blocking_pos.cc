@@ -1,0 +1,40 @@
+// Fixture: POSITIVES for lock-blocking-call — pool submission while a
+// MutexLock is live on this thread (workers that need the same mutex
+// deadlock; even when they don't, the lock is held for an unbounded
+// pool round-trip), and a CondVar::Wait that releases only one of two
+// held mutexes. The second case goes through a helper to exercise the
+// transitive call-graph closure.
+
+#include "common/sync.h"
+#include "common/thread_pool.h"
+
+namespace dhs_fixture {
+
+class BlockyFanout {
+ public:
+  void FanOutUnderLock() {
+    dhs::MutexLock lock(mu_);
+    pending_++;
+    pool_.Submit([] {});  // expect-finding: lock-blocking-call
+  }
+
+  void WaitHelper() {
+    dhs::MutexLock inner_lock(inner_);
+    cv_.Wait(inner_);  // blocks: makes WaitHelper() a blocking callee
+  }
+
+  void TransitiveBlockUnderLock() {
+    dhs::MutexLock lock(mu_);
+    pending_++;
+    WaitHelper();  // expect-finding: lock-blocking-call
+  }
+
+ private:
+  dhs::Mutex mu_{"fixture_blocky_outer"};
+  dhs::Mutex inner_{"fixture_blocky_inner"};
+  dhs::CondVar cv_;
+  int pending_ GUARDED_BY(mu_) = 0;
+  dhs::ThreadPool pool_{1};
+};
+
+}  // namespace dhs_fixture

@@ -1,0 +1,18 @@
+// Fixture: POSITIVE for layer-transitive — every direct edge here is
+// legal (dht -> obs), but the included obs header reaches sketch,
+// which dht must not depend on, so the chain
+// dht/trans_pos.h -> obs/bad_reach.h -> sketch/leaf.h is reported
+// against this file.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_DHT_TRANS_POS_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_DHT_TRANS_POS_H_
+
+#include "obs/bad_reach.h"  // expect-finding: layer-transitive
+
+namespace dhs_fixture {
+
+inline int DhtReachingSketch() { return ObsUsingSketch(); }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_DHT_TRANS_POS_H_

@@ -1,0 +1,17 @@
+// Fixture: POSITIVE for layer-dep — obs may only include common, so an
+// obs -> sketch edge is a direct violation. It also makes this header
+// the middle of the layer-transitive chain pinned by
+// src/dht/trans_pos.h.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_OBS_BAD_REACH_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_OBS_BAD_REACH_H_
+
+#include "sketch/leaf.h"  // expect-finding: layer-dep
+
+namespace dhs_fixture {
+
+inline int ObsUsingSketch() { return SketchLayerValue(); }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_OBS_BAD_REACH_H_

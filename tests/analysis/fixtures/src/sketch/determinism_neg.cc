@@ -1,0 +1,42 @@
+// Fixture: NEGATIVES for the determinism family — the deterministic
+// twins of determinism_pos.cc. Value-keyed hash iteration feeding a
+// per-key accumulator is order-insensitive (one addition per key),
+// explicitly seeded engines are replayable, and an inline waiver
+// documents the one legitimately nondeterministic line.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace dhs_fixture {
+
+inline double DeterminismNegatives(
+    const std::unordered_map<uint64_t, double>& weights) {
+  // Per-key accumulation: value[node] gets exactly one += per loop
+  // iteration, so hash order cannot change any individual sum.
+  std::unordered_map<uint64_t, double> scaled;
+  for (const auto& entry : weights) {
+    scaled[entry.first] += entry.second * 2.0;
+  }
+
+  // Sorted iteration is deterministic regardless of value types.
+  std::map<uint64_t, double> ordered(weights.begin(), weights.end());
+  double total = 0.0;
+  for (const auto& entry : ordered) {
+    total += entry.second;
+  }
+
+  std::mt19937 seeded(12345u);  // explicit seed: replayable
+  (void)seeded;
+
+  // Waiver syntax check: the line below would be det-wallclock.
+  // dhs-analyze: allow(det-wallclock)
+  auto waived = std::chrono::steady_clock::now();
+  (void)waived;
+
+  return total;
+}
+
+}  // namespace dhs_fixture

@@ -1,0 +1,35 @@
+// Fixture: POSITIVES for the determinism family. Each marked line is a
+// pattern that would silently break byte-identical replay in simulator
+// code: pointer-keyed hash iteration (order = allocator addresses),
+// wall-clock reads, unseeded RNG engines, and float accumulation in
+// hash-iteration order. The pointer-keyed container hides behind a
+// typedef on purpose: the checker must see through the alias.
+
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace dhs_fixture {
+
+struct Node {
+  int weight = 0;
+};
+
+using NodeWeights = std::unordered_map<const Node*, double>;
+
+inline double DeterminismPositives(const NodeWeights& weights) {
+  double total = 0.0;
+  for (const auto& entry : weights) {  // expect-finding: det-unordered-iter
+    total += entry.second;  // expect-finding: det-float-accum
+  }
+
+  auto now = std::chrono::steady_clock::now();  // expect-finding: det-wallclock
+  (void)now;
+
+  std::mt19937 engine;  // expect-finding: det-rng
+  (void)engine;
+
+  return total;
+}
+
+}  // namespace dhs_fixture

@@ -1,0 +1,13 @@
+// Fixture: an innocuous sketch-layer header, the far end of the
+// transitive-layering chain.
+
+#ifndef DHS_TESTS_ANALYSIS_FIXTURES_SRC_SKETCH_LEAF_H_
+#define DHS_TESTS_ANALYSIS_FIXTURES_SRC_SKETCH_LEAF_H_
+
+namespace dhs_fixture {
+
+inline int SketchLayerValue() { return 3; }
+
+}  // namespace dhs_fixture
+
+#endif  // DHS_TESTS_ANALYSIS_FIXTURES_SRC_SKETCH_LEAF_H_

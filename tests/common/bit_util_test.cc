@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace dhs {
 namespace {
 
@@ -47,6 +49,81 @@ TEST(BitUtilTest, GetBit) {
   EXPECT_EQ(GetBit(0b1010, 3), 1);
   EXPECT_EQ(GetBit(uint64_t{1} << 63, 63), 1);
   EXPECT_EQ(GetBit(uint64_t{1} << 63, 62), 0);
+}
+
+TEST(ByteCodecTest, LittleEndianByteOrderIsPinned) {
+  std::string out;
+  AppendLE16(out, 0x0102);
+  AppendLE32(out, 0x03040506u);
+  AppendLE64(out, 0x0708090a0b0c0d0eULL);
+  const std::string expected{
+      "\x02\x01"
+      "\x06\x05\x04\x03"
+      "\x0e\x0d\x0c\x0b\x0a\x09\x08\x07",
+      14};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ByteCodecTest, BigEndianByteOrderIsPinned) {
+  std::string out;
+  AppendBE16(out, 0x0102);
+  AppendBE32(out, 0x03040506u);
+  AppendBE64(out, 0x0708090a0b0c0d0eULL);
+  const std::string expected{
+      "\x01\x02"
+      "\x03\x04\x05\x06"
+      "\x07\x08\x09\x0a\x0b\x0c\x0d\x0e",
+      14};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(ByteCodecTest, RoundTripsExtremes) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0x80},
+                     uint64_t{0xff00ff00ff00ff00ULL}, ~uint64_t{0}}) {
+    std::string le;
+    std::string be;
+    AppendLE64(le, v);
+    AppendBE64(be, v);
+    EXPECT_EQ(LoadLE64(le.data()), v);
+    EXPECT_EQ(LoadBE64(be.data()), v);
+  }
+  for (uint32_t v : {0u, 1u, 0xdeadbeefu, ~0u}) {
+    std::string le;
+    std::string be;
+    AppendLE32(le, v);
+    AppendBE32(be, v);
+    EXPECT_EQ(LoadLE32(le.data()), v);
+    EXPECT_EQ(LoadBE32(be.data()), v);
+  }
+  for (uint16_t v : {uint16_t{0}, uint16_t{1}, uint16_t{0xabcd},
+                     uint16_t{0xffff}}) {
+    std::string le;
+    std::string be;
+    AppendLE16(le, v);
+    AppendBE16(be, v);
+    EXPECT_EQ(LoadLE16(le.data()), v);
+    EXPECT_EQ(LoadBE16(be.data()), v);
+  }
+}
+
+TEST(ByteCodecTest, LoadsWorkAtAnyOffset) {
+  // Unaligned reads are the whole point of byte-wise loads: pack a
+  // value at every offset of a 1-byte-shifted buffer and read it back.
+  for (size_t shift = 0; shift < 8; ++shift) {
+    std::string buf(shift, '\xa5');
+    AppendLE64(buf, 0x1122334455667788ULL);
+    EXPECT_EQ(LoadLE64(buf.data() + shift), 0x1122334455667788ULL);
+  }
+}
+
+TEST(ByteCodecTest, HighBytesAreNotSignExtended) {
+  std::string le;
+  AppendLE32(le, 0xfffffffeu);
+  EXPECT_EQ(LoadLE32(le.data()), 0xfffffffeu);
+  EXPECT_EQ(LoadLE16(le.data()), 0xfffe);
+  std::string be;
+  AppendBE64(be, 0x8000000000000001ULL);
+  EXPECT_EQ(LoadBE64(be.data()), 0x8000000000000001ULL);
 }
 
 }  // namespace

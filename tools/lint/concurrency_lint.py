@@ -15,27 +15,23 @@ statically, in CI and as a ctest:
                     common/thread_pool.h. std::thread::
                     hardware_concurrency() is a pure query and allowed.
 
-  nondeterminism    rand / srand / std::random_device / time( are
-                    forbidden everywhere: all randomness flows from the
-                    seeded common/random.h Rng, and simulated time from
-                    the virtual clock.
-
-  wallclock         std::chrono::*_clock::now() is forbidden outside
-                    bench/ (benchmarks measure real time by definition)
-                    and src/common/ (the lock-contention wait timer).
-
-  unguarded-mutex   a `Mutex foo_;` member in a header whose file never
-                    mentions GUARDED_BY(foo_) / REQUIRES(foo_) guards
-                    nothing — either annotate the state it protects or
-                    waive with a justification.
-
   unnamed-mutex     Mutex members must carry a registered name
                     (`Mutex mu_{"subsystem"};`): deadlock reports and
                     contention metrics aggregate by that name.
 
+These two are token/syntax rules that need no type information, so a
+line scanner is the right tool. The rules this script used to own that
+DO need type information — wall-clock reads, nondeterministic RNG,
+unguarded mutex siblings — moved to the AST-accurate checker suite in
+tools/analysis/dhs_analyze.py (det-wallclock, det-rng,
+lock-unguarded-member), which sees through typedefs and member types
+instead of pattern-matching spellings. CI's lint job runs both
+scripts; no rule is maintained twice.
+
 Waivers: a line is exempt from rule R when it, or the line directly
 above it, contains `det-lint: allow(R)` in a comment. Waive sparingly
-and say why on the same comment.
+and say why on the same comment. (dhs_analyze.py accepts the same
+syntax, plus its own `dhs-analyze: allow(R)` spelling.)
 
 Usage: concurrency_lint.py [--root DIR]
 Exit status 0 = clean, 1 = findings (printed as file:line: rule: msg).
@@ -58,10 +54,6 @@ RAW_THREADING_RE = re.compile(
 HARDWARE_CONCURRENCY_RE = re.compile(
     r"std::thread::hardware_concurrency"
 )
-NONDETERMINISM_RE = re.compile(
-    r"(?<![\w:])(rand|srand|time)\s*\(|std::random_device"
-)
-WALLCLOCK_RE = re.compile(r"\b\w*_clock::now\s*\(")
 MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?Mutex\s+(\w+_)\s*(\{[^}]*\})?\s*;"
 )
@@ -96,7 +88,6 @@ def strip_comments(line, in_block):
 def lint_file(path, rel):
     findings = []
     in_common = rel.startswith("src/common/") or rel.startswith("src\\common\\")
-    in_bench = rel.startswith("bench/") or rel.startswith("bench\\")
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
@@ -131,41 +122,13 @@ def lint_file(path, rel):
                     "use common/sync.h / common/thread_pool.h",
                 )
 
-        if NONDETERMINISM_RE.search(code):
-            report(
-                num, "nondeterminism",
-                "nondeterministic source — all randomness must flow from "
-                "the seeded common/random.h Rng, time from the virtual "
-                "clock",
-            )
-
-        if not in_common and not in_bench:
-            if WALLCLOCK_RE.search(code):
-                report(
-                    num, "wallclock",
-                    "wall-clock read outside bench/ and src/common/ — "
-                    "simulator code runs on the virtual clock",
-                )
-
         if path.endswith(".h"):
             member = MUTEX_MEMBER_RE.match(code)
             if member:
                 named = bool(member.group(2)) and '"' in member.group(2)
                 mutex_members.append((num, member.group(1), named))
 
-    blob = "\n".join(lines)
     for num, name, named in mutex_members:
-        guarded = (
-            "GUARDED_BY(%s)" % name in blob
-            or "REQUIRES(%s)" % name in blob
-        )
-        if not guarded:
-            report(
-                num, "unguarded-mutex",
-                "Mutex member %s has no GUARDED_BY(%s)/REQUIRES(%s) use "
-                "in this file — annotate the state it protects" %
-                (name, name, name),
-            )
         if not named:
             report(
                 num, "unnamed-mutex",
