@@ -1,0 +1,338 @@
+// P5 — wire-format and transport microbenchmark (not a paper
+// experiment).
+//
+// Times Encode/Decode for every frame type of dht/wire.h at
+// representative sizes (the §5.1 message shapes: 12-byte probe opens,
+// 8+2v probe responses, 8n-byte insertion groups), then drives an
+// identical insert+count workload through the sim and loopback
+// transports to price the AF_UNIX round trip per DHS operation.
+//
+// Like bench_dht_core, every loop folds its outputs into a printed
+// checksum — identical checksums across two builds witness that a codec
+// change did not alter any accepted byte stream — and results land in
+// BENCH_wire.json (override with DHS_WIRE_JSON) for the perf
+// trajectory.
+//
+// Knobs: DHS_WIRE_CODEC_ITERS (default 200000) sizes the codec loops,
+// DHS_WIRE_ITEMS (default 20000) the transport workload.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "dht/loopback.h"
+#include "dht/store.h"
+#include "dht/transport.h"
+#include "dht/wire.h"
+#include "hashing/hasher.h"
+
+namespace dhs {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - t0)
+      .count();
+}
+
+struct WireResult {
+  std::string op;
+  long iters = 0;
+  size_t frame_bytes = 0;
+  double encode_ns = 0.0;
+  double decode_ns = 0.0;
+  uint64_t checksum = 0;
+};
+
+// Times `iters` rounds of encode(frame) then decode(bytes) and folds
+// every encoded byte stream into the checksum. The decoded value is
+// re-encoded once outside the timed region to assert canonicality.
+template <typename Frame, typename Encoder, typename Decoder>
+WireResult BenchCodec(const std::string& op, const Frame& frame,
+                      Encoder encode, Decoder decode, long iters) {
+  const std::string wire = encode(frame);
+  uint64_t checksum = 0;
+
+  const auto t0 = Clock::now();
+  for (long i = 0; i < iters; ++i) {
+    const std::string bytes = encode(frame);
+    checksum += bytes.size();
+    checksum ^= static_cast<uint64_t>(static_cast<uint8_t>(bytes.back()))
+                << (i % 56);
+  }
+  const double encode_ns = ElapsedNs(t0);
+
+  const auto t1 = Clock::now();
+  for (long i = 0; i < iters; ++i) {
+    auto decoded = decode(wire);
+    if (decoded.ok()) ++checksum;
+  }
+  const double decode_ns = ElapsedNs(t1);
+
+  auto decoded = decode(wire);
+  CHECK_OK(decoded);
+  CHECK(encode(*decoded) == wire) << op << " round trip is not canonical";
+
+  return {op, iters, wire.size(),
+          encode_ns / static_cast<double>(iters),
+          decode_ns / static_cast<double>(iters), checksum};
+}
+
+std::vector<WireResult> RunCodecs(long iters) {
+  std::vector<WireResult> results;
+
+  ProbeOpenFrame probe;
+  probe.target_key = 0x0123456789abcdefull;
+  probe.bit = 17;
+  results.push_back(BenchCodec("probe_open", probe, EncodeProbeOpen,
+                               DecodeProbeOpen, iters));
+
+  MetricQueryFrame query;
+  query.metric_id = 42;
+  query.bit = 9;
+  results.push_back(BenchCodec("metric_query", query, EncodeMetricQuery,
+                               DecodeMetricQuery, iters));
+
+  for (size_t v : {4, 64}) {
+    VectorResponseFrame response;
+    response.metric_id = 42;
+    for (size_t i = 0; i < v; ++i) {
+      response.vector_ids.push_back(static_cast<int>(3 * i));
+    }
+    results.push_back(BenchCodec("vector_response/" + std::to_string(v),
+                                 response, EncodeVectorResponse,
+                                 DecodeVectorResponse, iters));
+  }
+
+  for (size_t n : {1, 32, 250}) {
+    PutFrame put;
+    put.dst_key = 0xfeedfaceull;
+    put.metric_id = 7;
+    put.expiry = 1000;
+    for (size_t i = 0; i < n; ++i) {
+      put.keys.push_back(
+          StoreKey::Dhs(put.metric_id, static_cast<int>(i % 16),
+                        static_cast<int>(i % 1024)));
+    }
+    results.push_back(BenchCodec("put/" + std::to_string(n), put,
+                                 EncodePut, DecodePut, iters));
+  }
+
+  AckFrame ack;
+  ack.code = 0;
+  ack.node = 0xabcdull;
+  ack.hops = 3;
+  results.push_back(BenchCodec("ack", ack, EncodeAck, DecodeAck, iters));
+
+  {
+    MigrateFrame migrate;
+    for (int i = 0; i < 64; ++i) {
+      MigrateRecord record;
+      record.dht_key = static_cast<uint64_t>(i) * 977;
+      record.key = StoreKey::Dhs(9, i % 16, i % 1024);
+      record.expires_at = kNoExpiry;
+      record.value = std::string(16, static_cast<char>('a' + i % 26));
+      migrate.records.push_back(record);
+    }
+    results.push_back(BenchCodec("migrate/64", migrate, EncodeMigrate,
+                                 DecodeMigrate, iters / 8));
+  }
+
+  {
+    CountRequestFrame request;
+    request.metric_ids = {1, 2, 3, 4};
+    results.push_back(BenchCodec("count_request/4", request,
+                                 EncodeCountRequest, DecodeCountRequest,
+                                 iters));
+  }
+
+  {
+    CountResponseFrame response;
+    response.bitmaps_unresolved = 1;
+    for (int e = 0; e < 4; ++e) {
+      CountResponseEntry entry;
+      entry.estimate = 12345.5 * (e + 1);
+      for (int i = 0; i < 24; ++i) entry.observables.push_back(i % 7 - 1);
+      response.entries.push_back(entry);
+    }
+    results.push_back(BenchCodec("count_response/4x24", response,
+                                 EncodeCountResponse, DecodeCountResponse,
+                                 iters));
+  }
+
+  {
+    SketchFrame sketch;
+    sketch.family = kSketchFamilyHyperLogLog;
+    sketch.payload = std::string(64, '\x05');
+    results.push_back(BenchCodec("sketch/64B", sketch, EncodeSketch,
+                                 DecodeSketch, iters));
+  }
+
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Transport round-trip cost: the identical insert+count workload over
+// the in-process sim backend and over the AF_UNIX loopback pair. Both
+// worlds use identically-seeded networks, so the workload (and every
+// MessageStats charge) is the same — only the per-frame socket round
+// trip differs.
+
+struct TransportResult {
+  std::string backend;
+  double insert_us_per_item = 0.0;
+  double count_us = 0.0;
+  uint64_t messages = 0;
+  uint64_t socket_bytes = 0;
+};
+
+TransportResult RunTransportWorkload(bool loopback, uint64_t items) {
+  DhsConfig config;
+  config.k = 24;
+  config.m = 64;
+  config.replication = 2;
+
+  ChordConfig chord;
+  chord.hasher = "mix";
+  ChordNetwork net(chord);
+  Rng setup(20260808);
+  for (int i = 0; i < 256; ++i) CHECK_OK(net.AddNode(setup.Next()));
+
+  std::shared_ptr<LoopbackTransport> socket_transport;
+  if (loopback) {
+    socket_transport = std::make_shared<LoopbackTransport>(&net);
+  }
+  auto created = loopback
+                     ? DhsClient::Create(&net, config, socket_transport)
+                     : DhsClient::Create(&net, config);
+  CHECK_OK(created);
+  DhsClient client = std::move(created.value());
+
+  Rng rng(31);
+  MixHasher hasher(31);
+  std::vector<uint64_t> batch;
+  const auto t0 = Clock::now();
+  for (uint64_t i = 0; i < items; ++i) {
+    batch.push_back(hasher.HashU64(i));
+    if (batch.size() == 250) {
+      CHECK_OK(client.InsertBatch(net.RandomNode(rng), 7, batch, rng));
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) {
+    CHECK_OK(client.InsertBatch(net.RandomNode(rng), 7, batch, rng));
+  }
+  const double insert_ns = ElapsedNs(t0);
+
+  const auto t1 = Clock::now();
+  auto count = client.Count(net.RandomNode(rng), 7, rng);
+  const double count_ns = ElapsedNs(t1);
+  CHECK_OK(count);
+  CHECK(count->estimate > 0.0);
+
+  TransportResult result;
+  result.backend = loopback ? "loopback" : "sim";
+  result.insert_us_per_item =
+      insert_ns / 1000.0 / static_cast<double>(items);
+  result.count_us = count_ns / 1000.0;
+  result.messages = net.stats().messages;
+  result.socket_bytes = socket_transport == nullptr
+                            ? 0
+                            : socket_transport->socket_bytes_sent() +
+                                  socket_transport->socket_bytes_received();
+  return result;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<WireResult>& codecs,
+               const std::vector<TransportResult>& transports) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"wire\",\n  \"codecs\": [\n");
+  for (size_t i = 0; i < codecs.size(); ++i) {
+    const WireResult& r = codecs[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"frame_bytes\": %zu, "
+                 "\"encode_ns\": %.1f, \"decode_ns\": %.1f, "
+                 "\"checksum\": %llu}%s\n",
+                 r.op.c_str(), r.frame_bytes, r.encode_ns, r.decode_ns,
+                 static_cast<unsigned long long>(r.checksum),
+                 i + 1 < codecs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"transports\": [\n");
+  for (size_t i = 0; i < transports.size(); ++i) {
+    const TransportResult& r = transports[i];
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"insert_us_per_item\": %.3f, "
+                 "\"count_us\": %.1f, \"messages\": %llu, "
+                 "\"socket_bytes\": %llu}%s\n",
+                 r.backend.c_str(), r.insert_us_per_item, r.count_us,
+                 static_cast<unsigned long long>(r.messages),
+                 static_cast<unsigned long long>(r.socket_bytes),
+                 i + 1 < transports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+void Run() {
+  const long codec_iters = EnvInt("DHS_WIRE_CODEC_ITERS", 200000);
+  const uint64_t items =
+      static_cast<uint64_t>(EnvInt("DHS_WIRE_ITEMS", 20000));
+  // Read before any worker thread exists; nothing calls setenv.
+  const char* json_env = std::getenv("DHS_WIRE_JSON");  // NOLINT(concurrency-mt-unsafe)
+  const std::string json_path =
+      json_env != nullptr && json_env[0] != '\0' ? json_env
+                                                 : "BENCH_wire.json";
+
+  PrintHeader("P5: wire codecs + transport round trip",
+              "codec_iters=" + std::to_string(codec_iters) +
+                  ", items=" + std::to_string(items));
+
+  PrintRow({"frame", "bytes", "encode ns", "decode ns", "checksum"});
+  const std::vector<WireResult> codecs = RunCodecs(codec_iters);
+  for (const WireResult& r : codecs) {
+    PrintRow({r.op, std::to_string(r.frame_bytes),
+              FormatDouble(r.encode_ns, 1), FormatDouble(r.decode_ns, 1),
+              std::to_string(r.checksum)});
+  }
+
+  std::printf("\n");
+  PrintRow({"backend", "insert us/item", "count us", "messages",
+            "socket bytes"});
+  std::vector<TransportResult> transports;
+  for (bool loopback : {false, true}) {
+    transports.push_back(RunTransportWorkload(loopback, items));
+    const TransportResult& r = transports.back();
+    PrintRow({r.backend, FormatDouble(r.insert_us_per_item, 3),
+              FormatDouble(r.count_us, 1), std::to_string(r.messages),
+              std::to_string(r.socket_bytes)});
+  }
+  CHECK(transports[0].messages == transports[1].messages)
+      << "loopback run diverged from sim";
+
+  if (WriteJson(json_path, codecs, transports)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dhs
+
+int main() {
+  dhs::bench::Run();
+  return 0;
+}

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "dht/fault.h"
+#include "dht/wire.h"
 #include "dhs/lim.h"
 #include "sketch/estimator.h"
 #include "sketch/hyperloglog.h"
@@ -15,8 +18,19 @@
 
 namespace dhs {
 
-DhsClient::DhsClient(DhtNetwork* network, const DhsConfig& config)
+uint64_t RetryBackoffTicks(uint64_t base_ticks, int attempt) {
+  if (base_ticks == 0) return 0;
+  const int shift = std::clamp(attempt, 0, 63);
+  if (base_ticks > (std::numeric_limits<uint64_t>::max() >> shift)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return base_ticks << shift;
+}
+
+DhsClient::DhsClient(DhtNetwork* network, const DhsConfig& config,
+                     std::shared_ptr<Transport> transport)
     : network_(network),
+      transport_(std::move(transport)),
       config_(config),
       mapping_(network->space(), config),
       space_bits_cached_(network->space().bits()) {}
@@ -26,9 +40,21 @@ StatusOr<DhsClient> DhsClient::Create(DhtNetwork* network,
   if (network == nullptr) {
     return Status::InvalidArgument("network must not be null");
   }
+  return Create(network, config, std::make_shared<SimTransport>(network));
+}
+
+StatusOr<DhsClient> DhsClient::Create(DhtNetwork* network,
+                                      const DhsConfig& config,
+                                      std::shared_ptr<Transport> transport) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("network must not be null");
+  }
+  if (transport == nullptr) {
+    return Status::InvalidArgument("transport must not be null");
+  }
   Status s = config.Validate(network->space());
   if (!s.ok()) return s;
-  return DhsClient(network, config);
+  return DhsClient(network, config, std::move(transport));
 }
 
 DhsPlacement DhsClient::PlaceItem(uint64_t item_hash) const {
@@ -123,49 +149,50 @@ void DhsClient::FinishOp(ScopedSpan& span, OpIndex op,
   m->failed_probes->Increment(static_cast<uint64_t>(cost.failed_probes));
 }
 
-StatusOr<LookupResult> DhsClient::LookupWithRetry(uint64_t origin_node,
-                                                  uint64_t key,
-                                                  size_t payload_bytes,
-                                                  DhsCostReport* cost) {
+StatusOr<Transport::Delivery> DhsClient::RouteFrameWithRetry(
+    uint64_t origin_node, const std::string& frame, size_t accounted_bytes,
+    DhsCostReport* cost) {
   for (int attempt = 0;; ++attempt) {
-    auto lookup = network_->Lookup(origin_node, key, payload_bytes);
-    if (lookup.ok()) {
+    auto delivery = transport_->Route(origin_node, frame);
+    if (delivery.ok()) {
       cost->dht_lookups += 1;
-      cost->hops += lookup->hops;
-      cost->bytes += payload_bytes * static_cast<size_t>(lookup->hops);
-      return lookup;
+      cost->hops += delivery->hops;
+      cost->bytes += accounted_bytes * static_cast<size_t>(delivery->hops);
+      return delivery;
     }
-    if (!IsTransientFault(lookup.status())) return lookup.status();
+    if (!IsTransientFault(delivery.status())) return delivery.status();
     cost->dht_lookups += 1;  // issued and charged, then lost in flight
-    if (attempt + 1 >= config_.retry_attempts) return lookup.status();
+    if (attempt + 1 >= config_.retry_attempts) return delivery.status();
     cost->retries += 1;
     TraceRetry(network_, "lookup", attempt + 1);
     if (config_.retry_backoff_ticks > 0) {
-      network_->AdvanceClock(config_.retry_backoff_ticks << attempt);
+      network_->AdvanceClock(
+          RetryBackoffTicks(config_.retry_backoff_ticks, attempt));
     }
   }
 }
 
-Status DhsClient::DirectHopWithRetry(uint64_t from_node, uint64_t to_node,
-                                     size_t payload_bytes,
-                                     DhsCostReport* cost) {
+StatusOr<Transport::Delivery> DhsClient::SendFrameWithRetry(
+    uint64_t from_node, uint64_t to_node, const std::string& frame,
+    size_t accounted_bytes, DhsCostReport* cost) {
   for (int attempt = 0;; ++attempt) {
-    Status hop = network_->DirectHop(from_node, to_node, payload_bytes);
-    if (hop.ok()) {
+    auto delivery = transport_->Send(from_node, to_node, frame);
+    if (delivery.ok()) {
       cost->direct_probes += 1;
       if (from_node != to_node) {
         cost->hops += 1;
-        cost->bytes += payload_bytes;
+        cost->bytes += accounted_bytes;
       }
-      return hop;
+      return delivery;
     }
-    if (!IsTransientFault(hop)) return hop;
+    if (!IsTransientFault(delivery.status())) return delivery.status();
     cost->direct_probes += 1;  // issued and charged, then lost in flight
-    if (attempt + 1 >= config_.retry_attempts) return hop;
+    if (attempt + 1 >= config_.retry_attempts) return delivery.status();
     cost->retries += 1;
     TraceRetry(network_, "direct_hop", attempt + 1);
     if (config_.retry_backoff_ticks > 0) {
-      network_->AdvanceClock(config_.retry_backoff_ticks << attempt);
+      network_->AdvanceClock(
+          RetryBackoffTicks(config_.retry_backoff_ticks, attempt));
     }
   }
 }
@@ -183,51 +210,61 @@ Status DhsClient::StoreTuple(uint64_t origin_node, uint64_t metric_id,
   }
 
   const uint64_t target_key = mapping_.RandomIdIn(*interval, rng);
-  const size_t payload = config_.TupleBytes() * vector_ids.size();
+
+  // The insertion group as one kPut frame: the §5.1 tuples in the
+  // payload, addressing in the envelope, and a *relative* TTL so the
+  // serving side anchors expiry at the delivery tick.
+  PutFrame put;
+  put.dst_key = target_key;
+  put.metric_id = metric_id;
+  put.expiry = config_.ttl_ticks;
+  put.keys.reserve(vector_ids.size());
+  for (int vector_id : vector_ids) {
+    put.keys.push_back(MakeDhsKey(metric_id, bit, vector_id));
+  }
+  const std::string frame = EncodePut(put);
+  const size_t payload = PutPayloadBytes(vector_ids.size());
+
   cost->replicas_requested += config_.replication;
-  auto lookup = LookupWithRetry(origin_node, target_key, payload, cost);
-  if (!lookup.ok()) return lookup.status();
+  // The primary write is durable once the routed frame reached the
+  // responsible node (the transport applied it on delivery); replica
+  // failures below degrade, never error.
+  auto delivery = RouteFrameWithRetry(origin_node, frame, payload, cost);
+  if (!delivery.ok()) return delivery.status();
+  cost->replicas_written += 1;
 
+  int extra_needed = config_.replication - 1;
+  if (extra_needed <= 0) return Status::OK();
+
+  // Replica copies reuse the primary's expiry even if retries advance
+  // the clock below, so all copies of a group age out together: the
+  // replica frame carries the *absolute* tick the primary's TTL
+  // resolved to.
   const uint64_t ttl = config_.ttl_ticks;
-  const uint64_t expires =
-      ttl == kNoExpiry ? kNoExpiry : network_->now() + ttl;
-
-  const auto store_at = [&](uint64_t holder) {
-    NodeStore* store = network_->StoreAt(holder);
-    NodeLoad* load = network_->LoadAt(holder);
-    CHECK(store != nullptr && load != nullptr)
-        << "holder " << holder << " vanished mid-insert";
-    load->stores += 1;
-    for (int vector_id : vector_ids) {
-      store->Put(target_key, MakeDhsKey(metric_id, bit, vector_id),
-                 std::string(), expires);
-    }
-    cost->replicas_written += 1;
-  };
-
-  // The primary write is durable once the lookup reached the
-  // responsible node; replica failures below degrade, never error.
-  const uint64_t primary = lookup->node;
-  store_at(primary);
+  PutFrame replica_put = put;
+  replica_put.absolute_expiry = true;
+  replica_put.expiry = ttl == kNoExpiry ? kNoExpiry : network_->now() + ttl;
+  const std::string replica_frame = EncodePut(replica_put);
 
   // §3.5 replication, geometry-aware: the extra copies go to the nodes
   // the counting walk probes after the primary (ReplicaCandidates
   // shares its ordering with ProbeCandidates), falling through
   // candidates that cannot be reached.
-  int extra_needed = config_.replication - 1;
-  if (extra_needed <= 0) return Status::OK();
+  const uint64_t primary = delivery->node;
   const std::vector<uint64_t> replicas = network_->ReplicaCandidates(
       *interval, target_key, primary, extra_needed + kReplicaSlack);
   for (uint64_t replica : replicas) {
-    Status hop = DirectHopWithRetry(primary, replica, payload, cost);
+    auto hop = SendFrameWithRetry(primary, replica, replica_frame, payload,
+                                  cost);
     if (!hop.ok()) {
-      if (hop.IsInvalidArgument() || IsTransientFault(hop)) {
+      if (hop.status().IsInvalidArgument() ||
+          IsTransientFault(hop.status())) {
         cost->failed_probes += 1;
         continue;
       }
-      return hop;
+      return hop.status();
     }
-    store_at(replica);
+    cost->replicas_written += 1;
     if (--extra_needed == 0) break;
   }
   return Status::OK();
@@ -306,19 +343,22 @@ StatusOr<DhsCostReport> DhsClient::InsertBatch(
 std::vector<int> DhsClient::ProbeNodeForMetric(uint64_t node,
                                                uint64_t metric_id, int bit,
                                                DhsCostReport* cost) {
-  std::vector<int> vectors;
-  NodeStore* store = network_->StoreAt(node);
-  if (store == nullptr) return vectors;
-  NodeLoad* load = network_->LoadAt(node);
-  if (load != nullptr) load->probes += 1;
-  store->ForEachDhs(metric_id, bit, network_->now(),
-                    [&vectors](const StoreKey& key, const StoreRecord&) {
-                      vectors.push_back(key.vector_id());
-                    });
-  const size_t response = config_.ProbeResponseBytes(vectors.size());
-  network_->ChargeBytes(response);
-  cost->bytes += response;
-  return vectors;
+  MetricQueryFrame query;
+  query.metric_id = metric_id;
+  query.bit = bit;
+  auto response = transport_->Query(node, EncodeMetricQuery(query));
+  if (!response.ok()) {
+    // The holder vanished between the walk reaching it and the read:
+    // empty-handed, nothing charged (matching the historical in-process
+    // probe).
+    return {};
+  }
+  auto decoded = DecodeVectorResponse(*response);
+  CHECK_OK(decoded) << "transport returned a malformed probe response";
+  // The response-side charge (ProbeResponseBytes(v) == 8 + 2v) happened
+  // where the frame was served; mirror it into this op's cost report.
+  cost->bytes += VectorResponsePayloadBytes(decoded->vector_ids.size());
+  return std::move(decoded->vector_ids);
 }
 
 int DhsClient::LimForBit(int bit) const {
@@ -361,10 +401,15 @@ Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
     span.Arg(TraceArg::I64("lim", lim));
   }
 
-  // Initial random probe into the interval, routed via the DHT.
+  // Initial random probe into the interval: a kProbeOpen frame routed
+  // via the DHT (ProbeRequestBytes == 12 accounted bytes per hop).
   const uint64_t target_key = mapping_.RandomIdIn(interval, rng);
-  const size_t request = config_.ProbeRequestBytes();
-  auto lookup = LookupWithRetry(origin_node, target_key, request, cost);
+  ProbeOpenFrame open;
+  open.target_key = target_key;
+  open.bit = bit;
+  const std::string request_frame = EncodeProbeOpen(open);
+  const size_t request = kProbeOpenPayloadBytes;
+  auto lookup = RouteFrameWithRetry(origin_node, request_frame, request, cost);
   if (!lookup.ok()) {
     if (IsTransientFault(lookup.status())) {
       // The interval could not be reached through all retry attempts:
@@ -389,15 +434,17 @@ Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
       network_->ProbeCandidates(interval, target_key, start, lim - 1);
   uint64_t current = start;
   for (uint64_t next : candidates) {
-    Status hop = DirectHopWithRetry(current, next, request, cost);
+    auto hop =
+        SendFrameWithRetry(current, next, request_frame, request, cost);
     if (!hop.ok()) {
-      if (hop.IsInvalidArgument() || IsTransientFault(hop)) {
+      if (hop.status().IsInvalidArgument() ||
+          IsTransientFault(hop.status())) {
         // Unreachable candidate (crashed, or lost through all
         // retries): skip it and walk on from the last node reached.
         cost->failed_probes += 1;
         continue;
       }
-      return hop;
+      return hop.status();
     }
     cost->nodes_visited += 1;
     current = next;
@@ -518,9 +565,13 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
   }
 
   // Cache raw observables (before the bit-shift backfill mutates them)
-  // — only from a complete count: an abandoned interval could have
-  // hidden a higher rho, and caching it would pin future scans low.
-  if (config_.frontier_cache && !result.gave_up) {
+  // — only from a fully resolved count: an abandoned interval OR a
+  // skipped probe candidate (failed_probes) could have hidden a higher
+  // rho, and caching it would pin future scans low — every later
+  // frontier-started count would silently undercount until the entry
+  // is invalidated.
+  if (config_.frontier_cache && !result.gave_up &&
+      result.cost.failed_probes == 0) {
     for (size_t mi = 0; mi < num_metrics; ++mi) {
       frontier_[metric_ids[mi]] = result.observables[mi];
     }

@@ -11,15 +11,28 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "dht/network.h"
+#include "dht/transport.h"
 #include "dhs/config.h"
 #include "dhs/mapping.h"
 
 namespace dhs {
+
+/// Backoff delay before retry `attempt` (0-based): base_ticks doubled
+/// per attempt, with the shift clamped to 63 and the product saturated
+/// at UINT64_MAX instead of the historical unchecked `base << attempt`
+/// (undefined behaviour from attempt 64 on, silent overflow before
+/// that). DhsConfig::Validate additionally rejects configs whose
+/// deepest reachable shift would overflow, so a validated client never
+/// saturates; the clamp protects direct callers and future config
+/// surface.
+uint64_t RetryBackoffTicks(uint64_t base_ticks, int attempt);
 
 /// Cost of one DHS operation, in the paper's metrics, plus the
 /// fault-tolerance accounting (retries issued, probes abandoned,
@@ -85,12 +98,22 @@ struct DhsPlacement {
 class DhsClient {
  public:
   /// The network must outlive the client. Call Validate()d configs only;
-  /// Create() checks for you.
+  /// Create() checks for you. The two-argument overload speaks the
+  /// simulator transport (SimTransport over `network`); pass a
+  /// transport explicitly to serve the same protocol over another
+  /// backend (e.g. LoopbackTransport). The transport must act on the
+  /// same network (it shares the clock, fault plan and stats ledger).
   static StatusOr<DhsClient> Create(DhtNetwork* network,
                                     const DhsConfig& config);
+  static StatusOr<DhsClient> Create(DhtNetwork* network,
+                                    const DhsConfig& config,
+                                    std::shared_ptr<Transport> transport);
 
   const DhsConfig& config() const { return config_; }
   const BitMapping& mapping() const { return mapping_; }
+
+  /// The transport every data-plane frame travels through (never null).
+  Transport* transport() const { return transport_.get(); }
 
   /// The overlay this client acts through (never null). Observability
   /// riders (DhsMaintainer, the baselines, tools) reach the attached
@@ -149,30 +172,31 @@ class DhsClient {
   [[nodiscard]] Status AuditFull() const;
 
  private:
-  DhsClient(DhtNetwork* network, const DhsConfig& config);
+  DhsClient(DhtNetwork* network, const DhsConfig& config,
+            std::shared_ptr<Transport> transport);
 
   /// Runs the full invariant audit (network + DHS placement) when
   /// config_.audit is set; CHECK-fatal on any violation.
   void MaybeAudit() const;
 
-  /// Routed lookup with the configured retry policy: re-issues the
-  /// message on transient failures (Unavailable / DeadlineExceeded),
-  /// sleeping retry_backoff_ticks << attempt between attempts. Every
-  /// issued attempt is charged to cost (dht_lookups; hops/bytes only on
-  /// success — a faulted message does no observable work); re-issues
-  /// count as retries. Non-transient errors are terminal and uncharged
-  /// (the network rejected the message without sending it).
-  [[nodiscard]] StatusOr<LookupResult> LookupWithRetry(uint64_t origin_node,
-                                                       uint64_t key,
-                                                       size_t payload_bytes,
-                                                       DhsCostReport* cost);
+  /// Routes an encoded frame with the configured retry policy:
+  /// re-issues the frame on transient failures (Unavailable /
+  /// DeadlineExceeded), sleeping RetryBackoffTicks(backoff, attempt)
+  /// between attempts. Every issued attempt is charged to cost
+  /// (dht_lookups; hops/bytes only on success — a faulted frame does no
+  /// observable work); re-issues count as retries. Non-transient errors
+  /// are terminal and uncharged (the transport rejected the frame
+  /// without sending it). `accounted_bytes` is the frame's §5.1 payload
+  /// (AccountedPayloadBytes), charged per hop on delivery.
+  [[nodiscard]] StatusOr<Transport::Delivery> RouteFrameWithRetry(
+      uint64_t origin_node, const std::string& frame, size_t accounted_bytes,
+      DhsCostReport* cost);
 
-  /// One-hop message with the same retry policy and accounting
+  /// One-hop frame forward with the same retry policy and accounting
   /// (direct_probes instead of dht_lookups).
-  [[nodiscard]] Status DirectHopWithRetry(uint64_t from_node,
-                                          uint64_t to_node,
-                                          size_t payload_bytes,
-                                          DhsCostReport* cost);
+  [[nodiscard]] StatusOr<Transport::Delivery> SendFrameWithRetry(
+      uint64_t from_node, uint64_t to_node, const std::string& frame,
+      size_t accounted_bytes, DhsCostReport* cost);
 
   /// Stores one tuple at the node responsible for a random ID in bit r's
   /// interval, plus `replication - 1` copies on the overlay's
@@ -237,6 +261,9 @@ class DhsClient {
                 bool ok);
 
   DhtNetwork* network_;
+  /// Data-plane backend; shared so DhsClient stays copyable (StatusOr
+  /// plumbing) while a loopback transport keeps its sockets alive.
+  std::shared_ptr<Transport> transport_;
   DhsConfig config_;
   BitMapping mapping_;
   int space_bits_cached_ = 64;  // L, for eq. 6 density computations

@@ -1,0 +1,34 @@
+#include "dhs/count_service.h"
+
+#include <string>
+#include <utility>
+
+#include "dht/wire.h"
+
+namespace dhs {
+
+StatusOr<std::string> DhsCountService::Handle(uint64_t origin_node,
+                                              std::string_view request_frame,
+                                              Rng& rng) {
+  auto request = DecodeCountRequest(request_frame);
+  if (!request.ok()) return request.status();
+  auto result = client_->CountMany(origin_node, request->metric_ids, rng);
+  if (!result.ok()) return result.status();
+
+  CountResponseFrame response;
+  response.gave_up = result->gave_up;
+  response.bitmaps_unresolved =
+      result->bitmaps_unresolved < 0
+          ? 0
+          : static_cast<uint32_t>(result->bitmaps_unresolved);
+  response.entries.reserve(request->metric_ids.size());
+  for (size_t i = 0; i < request->metric_ids.size(); ++i) {
+    CountResponseEntry entry;
+    entry.estimate = result->estimates[i];
+    entry.observables = result->observables[i];
+    response.entries.push_back(std::move(entry));
+  }
+  return EncodeCountResponse(response);
+}
+
+}  // namespace dhs

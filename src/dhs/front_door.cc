@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "dht/fault.h"
+#include "dht/wire.h"
 #include "dhs/lim.h"
 #include "dhs/mapping.h"
 #include "sketch/estimator.h"
@@ -177,6 +178,14 @@ StatusOr<DhsCostReport> DhsFrontDoor::InsertBatch(
     op.ttl_ticks = config.ttl_ticks;
     op.replication = config.replication;
     op.replica_slack = kReplicaSlack;
+    // Hand the engine the encoded kPut frame; it re-derives the routed
+    // fields from the wire bytes (shard.h ShardOp::frame).
+    PutFrame put;
+    put.dst_key = op.key;
+    put.metric_id = metric_id;
+    put.expiry = config.ttl_ticks;
+    put.keys = op.put_keys;
+    op.frame = EncodePut(put);
     ops.push_back(std::move(op));
     cost.replicas_requested += config.replication;
   }
@@ -223,6 +232,10 @@ ShardOp DhsFrontDoor::MakeProbeOp(uint64_t origin, int bit,
   op.response_base_bytes = config.ProbeResponseBytes(0);
   op.response_per_record_bytes =
       config.ProbeResponseBytes(1) - config.ProbeResponseBytes(0);
+  ProbeOpenFrame probe;
+  probe.target_key = op.key;
+  probe.bit = bit;
+  op.frame = EncodeProbeOpen(probe);
   return op;
 }
 

@@ -2,14 +2,58 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
+#include "dht/wire.h"
 #include "obs/trace.h"
 
 namespace dhs {
 
 namespace {
 enum : uint8_t { kPhaseIssue = 0, kPhaseRoute = 1, kPhaseWalk = 2 };
+
+// Decodes an op's wire frame into its routed fields: the engine
+// executes what is on the wire, not what the caller typed next to it.
+// Non-routed knobs (interval, replication, queries, lim, response
+// sizing) have no wire representation and stay as given.
+Status ApplyFrame(ShardOp& op) {
+  auto parsed = ParseFrame(op.frame);
+  if (!parsed.ok()) return parsed.status();
+  switch (parsed->type) {
+    case FrameType::kPut: {
+      if (op.kind != ShardOp::kPut) {
+        return Status::InvalidArgument("kPut frame on a non-put op");
+      }
+      auto put = DecodePut(op.frame);
+      if (!put.ok()) return put.status();
+      if (put->absolute_expiry) {
+        return Status::InvalidArgument(
+            "sharded puts take relative TTLs (the clock is frozen for "
+            "the whole batch, so absolute expiries cannot be anchored)");
+      }
+      op.key = put->dst_key;
+      op.payload_bytes = PutPayloadBytes(put->keys.size());
+      op.put_keys = std::move(put->keys);
+      op.ttl_ticks = put->expiry;
+      return Status::OK();
+    }
+    case FrameType::kProbeOpen: {
+      if (op.kind != ShardOp::kProbe) {
+        return Status::InvalidArgument("kProbeOpen frame on a non-probe op");
+      }
+      auto probe = DecodeProbeOpen(op.frame);
+      if (!probe.ok()) return probe.status();
+      op.key = probe->target_key;
+      op.payload_bytes = kProbeOpenPayloadBytes;
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "only kPut and kProbeOpen frames route through the sharded "
+          "engine");
+  }
+}
 }  // namespace
 
 /// Trace event recorded while a token executes; replayed on the
@@ -482,8 +526,34 @@ StatusOr<std::vector<ShardOpOutcome>> ShardedNetwork::ExecuteBatch(
 
   const int shards = pool_.shards();
   std::vector<OpState> st(ops.size());
+
+  // Framed ops (ShardOp::frame) are decoded up front on the
+  // coordinator so every worker sees one representation; the copy is
+  // only materialized when a frame is actually present. A frame that
+  // fails to decode fails its op before any token is seeded.
+  std::vector<ShardOp> decoded;
+  bool any_frame = false;
+  for (const ShardOp& op : ops) {
+    if (!op.frame.empty()) {
+      any_frame = true;
+      break;
+    }
+  }
+  if (any_frame) {
+    decoded = ops;
+    for (size_t i = 0; i < decoded.size(); ++i) {
+      if (decoded[i].frame.empty()) continue;
+      Status applied = ApplyFrame(decoded[i]);
+      if (!applied.ok()) {
+        out[i].status = applied;
+        st[i].done = true;
+      }
+    }
+  }
+  const std::vector<ShardOp>& batch = any_frame ? decoded : ops;
+
   BatchCtx ctx;
-  ctx.ops = &ops;
+  ctx.ops = &batch;
   ctx.out = &out;
   ctx.st = &st;
   ctx.ordinal_base = op_ordinal_;
@@ -497,8 +567,9 @@ StatusOr<std::vector<ShardOpOutcome>> ShardedNetwork::ExecuteBatch(
 
   // Seed one token per op at its origin's shard, in op order.
   std::vector<std::vector<Token>> inbox(static_cast<size_t>(shards));
-  for (size_t i = 0; i < ops.size(); ++i) {
-    const uint64_t origin = net_->space_.Clamp(ops[i].origin);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (st[i].done) continue;  // frame decode already failed this op
+    const uint64_t origin = net_->space_.Clamp(batch[i].origin);
     auto it =
         std::lower_bound(net_->ring_.begin(), net_->ring_.end(), origin);
     if (it == net_->ring_.end() || *it != origin) {

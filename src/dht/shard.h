@@ -48,6 +48,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -76,6 +77,14 @@ struct ShardOp {
   Kind kind = kLookup;
   uint64_t origin = 0;
   uint64_t key = 0;
+  /// Optional encoded wire frame (dht/wire.h). When non-empty,
+  /// ExecuteBatch decodes it and overwrites the routed fields — key,
+  /// payload_bytes, and for kPut the put_keys/ttl_ticks — so the engine
+  /// executes exactly what is on the wire (kPut frames for kPut ops,
+  /// kProbeOpen frames for kProbe ops). An undecodable frame fails the
+  /// op with the decoder's status; field-built ops (empty frame) keep
+  /// working unchanged.
+  std::string frame;
   /// Routed payload: charged per routing hop and per direct hop
   /// (tuple bytes for kPut, probe-request bytes for kProbe).
   size_t payload_bytes = 0;

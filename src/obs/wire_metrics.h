@@ -1,0 +1,83 @@
+// Per-frame byte metrics for the wire transports.
+//
+// The paper's cost model (§5.2) counts payload bytes and excludes
+// protocol headers; MessageStats therefore charges only the accounted
+// payload of each frame (dht/wire.h). This helper is the other half of
+// the ledger: full wire bytes per frame type, so the header/envelope
+// overhead the cost model ignores is still visible in the metrics
+// export. Series:
+//
+//   dht_wire_frames_total{frame=..., transport=...}
+//   dht_wire_bytes_total{frame=..., transport=...}          (full frames)
+//   dht_wire_payload_bytes_total{frame=..., transport=...}  (accounted)
+//
+// The obs layer sits below the dht layer in the include DAG, so frame
+// types arrive as stable label strings (dht FrameTypeName), never as
+// dht enums.
+
+#ifndef DHS_OBS_WIRE_METRICS_H_
+#define DHS_OBS_WIRE_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace dhs {
+
+/// Interns the per-frame-type series of one transport lazily and fans
+/// each Record into the three counters. Null registry → every call is
+/// a no-op (metrics are opt-in everywhere in the simulator).
+class WireMetrics {
+ public:
+  WireMetrics() = default;
+  WireMetrics(MetricsRegistry* registry, std::string transport)
+      : registry_(registry), transport_(std::move(transport)) {}
+
+  /// Re-points the helper (transports attach metrics after
+  /// construction, mirroring DhtNetwork::AttachMetrics).
+  void Attach(MetricsRegistry* registry, std::string transport) {
+    registry_ = registry;
+    transport_ = std::move(transport);
+    by_type_.clear();
+  }
+
+  /// Records one frame crossing the transport.
+  void Record(std::string_view frame_type, size_t wire_bytes,
+              size_t payload_bytes) {
+    if (registry_ == nullptr) return;
+    auto it = by_type_.find(frame_type);
+    if (it == by_type_.end()) {
+      const MetricLabels labels = {{"frame", std::string(frame_type)},
+                                   {"transport", transport_}};
+      Series series;
+      series.frames = registry_->GetCounter("dht_wire_frames_total", labels);
+      series.wire_bytes = registry_->GetCounter("dht_wire_bytes_total", labels);
+      series.payload_bytes =
+          registry_->GetCounter("dht_wire_payload_bytes_total", labels);
+      it = by_type_.emplace(std::string(frame_type), series).first;
+    }
+    it->second.frames->Increment();
+    it->second.wire_bytes->Increment(wire_bytes);
+    it->second.payload_bytes->Increment(payload_bytes);
+  }
+
+ private:
+  struct Series {
+    Counter* frames = nullptr;
+    Counter* wire_bytes = nullptr;
+    Counter* payload_bytes = nullptr;
+  };
+
+  MetricsRegistry* registry_ = nullptr;
+  std::string transport_;
+  // Interned per frame-type label; transparent comparator so lookups
+  // take string_view without allocating.
+  std::map<std::string, Series, std::less<>> by_type_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_OBS_WIRE_METRICS_H_

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -576,6 +578,88 @@ TEST_F(DhsClientTest, CountCompletesCleanlyUnderModerateDrops) {
     EXPECT_EQ(result->bitmaps_unresolved, 0) << "trial " << trial;
   }
   net_.ClearFaultPlan();
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff ladder (free function RetryBackoffTicks).
+
+TEST(RetryBackoffTicksTest, DoublesPerAttempt) {
+  EXPECT_EQ(RetryBackoffTicks(100, 0), 100u);
+  EXPECT_EQ(RetryBackoffTicks(100, 1), 200u);
+  EXPECT_EQ(RetryBackoffTicks(100, 3), 800u);
+  EXPECT_EQ(RetryBackoffTicks(0, 7), 0u);
+}
+
+// Regression: `base << attempt` is undefined for attempt >= 64 and
+// silently wraps below that — a huge base and a modest attempt count
+// used to produce a tiny (or zero) backoff exactly when the system was
+// struggling hardest.
+TEST(RetryBackoffTicksTest, SaturatesInsteadOfOverflowing) {
+  const uint64_t max = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(RetryBackoffTicks(uint64_t{1} << 62, 5), max);
+  EXPECT_EQ(RetryBackoffTicks(3, 63), max);
+  EXPECT_EQ(RetryBackoffTicks(1, 200), uint64_t{1} << 63)
+      << "the shift clamps at 63 (attempt 200 is not UB)";
+  EXPECT_EQ(RetryBackoffTicks(1, 63), uint64_t{1} << 63)
+      << "the deepest exact rung still computes";
+  EXPECT_EQ(RetryBackoffTicks(max, 1), max);
+}
+
+// ---------------------------------------------------------------------------
+// Frontier cache under faults.
+
+// Regression: a count that skipped probe candidates (failed_probes > 0)
+// but did not give up used to populate the frontier cache with its
+// possibly-low observables; every later frontier-started count would
+// then begin the scan below the true max rho and silently undercount
+// until an insert invalidated the entry. The fault matrix hunts for a
+// seed whose faulted count is visibly wrong yet "successful", then
+// checks a clean count afterwards still matches the pre-fault truth.
+TEST_F(DhsClientTest, FaultedCountDoesNotPoisonFrontierCache) {
+  DhsConfig config = Config(DhsEstimator::kSuperLogLog);
+  config.frontier_cache = true;
+  config.retry_attempts = 2;
+  auto client = DhsClient::Create(&net_, config);
+  ASSERT_TRUE(client.ok());
+  Populate(*client, 7, 30000, 42);
+
+  Rng rng(100);
+  auto clean = client->CountMany(net_.RandomNode(rng), {7}, rng);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_FALSE(clean->gave_up);
+  ASSERT_EQ(clean->cost.failed_probes, 0);
+  const double reference = clean->estimates[0];
+
+  bool exercised = false;
+  for (uint64_t seed = 1; seed <= 100 && !exercised; ++seed) {
+    FaultConfig faults;
+    faults.drop_probability = 0.25;
+    faults.timeout_probability = 0.15;
+    faults.seed = seed;
+    ASSERT_TRUE(net_.SetFaultPlan(faults).ok());
+    Rng faulted_rng(seed);
+    auto faulted =
+        client->CountMany(net_.RandomNode(faulted_rng), {7}, faulted_rng);
+    net_.ClearFaultPlan();
+    if (!faulted.ok()) continue;
+    // The poisoning scenario: probes were skipped, the count still
+    // "succeeded", and the skipped probes actually hid information.
+    if (faulted->gave_up || faulted->cost.failed_probes == 0) continue;
+    if (faulted->estimates[0] == reference) continue;
+    exercised = true;
+
+    Rng verify_rng(seed + 1000);
+    auto after =
+        client->CountMany(net_.RandomNode(verify_rng), {7}, verify_rng);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->estimates[0], reference)
+        << "fault seed " << seed
+        << ": the faulted count's partial observables leaked into the "
+           "frontier cache and pinned the clean rescan low";
+  }
+  EXPECT_TRUE(exercised)
+      << "no fault seed produced a skipped-probe count that differed; "
+         "the regression scenario was never exercised";
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "common/random.h"
 
@@ -149,6 +151,49 @@ TEST(HitProbabilityTest, SparseIntervalsBreakTheGuarantee) {
 TEST(HitProbabilityTest, ComplementOfProbEmpty) {
   EXPECT_NEAR(HitProbability(50, 20, 3),
               1.0 - ProbAllProbesEmpty(50, 20, 3), 1e-12);
+}
+
+// Regression: for n_items == 0 both budget functions returned
+// static_cast<int>(n_bins), which wraps negative once n_bins exceeds
+// INT_MAX (Internet-scale N') — a negative lim means "probe nothing"
+// where the math says "probe everything".
+TEST(RequiredProbesTest, HugeEmptyIntervalSaturatesToIntMax) {
+  const uint64_t huge = uint64_t{1} << 62;
+  EXPECT_EQ(RequiredProbes(huge, 0, 0.01), std::numeric_limits<int>::max());
+  EXPECT_EQ(RequiredProbesReplicated(huge, 0, 4, 2, 0.01),
+            std::numeric_limits<int>::max());
+  // Just past INT_MAX is the first wrapping width.
+  const uint64_t past = static_cast<uint64_t>(
+                            std::numeric_limits<int>::max()) + 1;
+  EXPECT_EQ(RequiredProbes(past, 0, 0.01), std::numeric_limits<int>::max());
+}
+
+// The pinned result is always a usable probe budget: at least one,
+// never more than there are bins, for both budget functions across
+// extreme densities and miss bounds.
+TEST(RequiredProbesTest, ResultAlwaysWithinOneToNBins) {
+  for (uint64_t bins : {uint64_t{1}, uint64_t{4}, uint64_t{1000}}) {
+    for (uint64_t items : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 40}) {
+      for (double p_miss : {0.9, 0.5, 1e-12}) {
+        const int t = RequiredProbes(bins, items, p_miss);
+        EXPECT_GE(t, 1) << bins << " " << items << " " << p_miss;
+        EXPECT_LE(static_cast<uint64_t>(t), bins)
+            << bins << " " << items << " " << p_miss;
+        const int tr = RequiredProbesReplicated(bins, items, 8, 3, p_miss);
+        EXPECT_GE(tr, 1) << bins << " " << items << " " << p_miss;
+        EXPECT_LE(static_cast<uint64_t>(tr), bins)
+            << bins << " " << items << " " << p_miss;
+      }
+    }
+  }
+}
+
+// A sub-one requirement (dense interval, loose bound) pins to one
+// probe, and an absurdly tight bound pins to a full scan rather than
+// overshooting n_bins through ceil.
+TEST(RequiredProbesTest, PinsTinyAndOversizedRequirements) {
+  EXPECT_EQ(RequiredProbes(10, uint64_t{1} << 50, 0.99), 1);
+  EXPECT_EQ(RequiredProbes(4, 1, 1e-300), 4);
 }
 
 }  // namespace

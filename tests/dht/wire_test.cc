@@ -1,0 +1,501 @@
+// Wire-format tests for the DHS frame codecs (dht/wire.h): round-trips
+// across a value grid for every frame type, strict rejection of every
+// truncation point and one-byte extension, corrupted headers / lengths
+// / payloads coming back as error Status values, and the canonical
+// encoding property Encode(Decode(b)) == b for every accepted b —
+// mirroring tests/sketch/serialization_test.cc for the sketch formats.
+// Random inputs are covered by tests/fuzz/wire_fuzz.cc; this file pins
+// down the specific corruption classes.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "dhs/config.h"
+#include "dht/store.h"
+#include "dht/wire.h"
+#include "hashing/hasher.h"
+#include "sketch/hyperloglog.h"
+#include "sketch/loglog.h"
+#include "sketch/pcsa.h"
+
+namespace dhs {
+namespace {
+
+std::string WithByte(const std::string& wire, size_t at, uint8_t value) {
+  std::string out = wire;
+  out[at] = static_cast<char>(value);
+  return out;
+}
+
+// Every strict prefix of a frame changes the actual body length away
+// from the header's body_len (or cuts the header itself), and a
+// one-byte tail does the same in the other direction: all of them must
+// be rejected at parse time, before any typed decoding runs.
+void ExpectLengthStrict(const std::string& wire) {
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(ParseFrame(wire.substr(0, len)).ok())
+        << "accepted a " << len << "-byte prefix of a " << wire.size()
+        << "-byte frame";
+  }
+  EXPECT_FALSE(ParseFrame(wire + '\0').ok()) << "accepted a tail";
+}
+
+// The header corruptions every type must reject: bad magic, unknown
+// version, unknown type, stray flag bits (0x80 is allowed for no type).
+void ExpectHeaderStrict(const std::string& wire) {
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 0, 0x00)).ok()) << "bad magic";
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 1, kWireVersion + 1)).ok())
+      << "future version";
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 2, 0)).ok()) << "type zero";
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 2, 200)).ok()) << "unknown type";
+  EXPECT_FALSE(
+      ParseFrame(WithByte(wire, 3,
+                          static_cast<uint8_t>(wire[3]) | uint8_t{0x80}))
+          .ok())
+      << "stray flag bit";
+}
+
+TEST(ParseFrameTest, RejectsTruncatedHeader) {
+  for (size_t len = 0; len < kWireHeaderBytes; ++len) {
+    auto parsed = ParseFrame(std::string(len, '\0'));
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  }
+}
+
+TEST(ParseFrameTest, RejectsBodyLenMismatch) {
+  std::string wire = EncodeProbeOpen({0x1234, 7});
+  // Understate and overstate body_len without changing the body.
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 4, 11)).ok());
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 4, 13)).ok());
+  EXPECT_FALSE(ParseFrame(WithByte(wire, 7, 1)).ok());  // high LE32 byte
+}
+
+TEST(ParseFrameTest, BodyShorterThanEnvelopeRejected) {
+  // A syntactically consistent kPut frame whose body is smaller than
+  // the 24-byte kPut envelope.
+  std::string wire;
+  wire.push_back(static_cast<char>(kWireMagic));
+  wire.push_back(static_cast<char>(kWireVersion));
+  wire.push_back(static_cast<char>(FrameType::kPut));
+  wire.push_back('\0');
+  wire.push_back(8);  // body_len = 8 < 24
+  wire.append(3, '\0');
+  wire.append(8, '\0');
+  auto parsed = ParseFrame(wire);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+}
+
+TEST(ProbeOpenTest, RoundTripGrid) {
+  for (uint64_t key : {uint64_t{0}, uint64_t{0x0123456789abcdef},
+                       std::numeric_limits<uint64_t>::max()}) {
+    for (int bit : {0, 1, 23, 255}) {
+      ProbeOpenFrame frame;
+      frame.target_key = key;
+      frame.bit = bit;
+      const std::string wire = EncodeProbeOpen(frame);
+      EXPECT_EQ(wire.size(), kWireHeaderBytes + kProbeOpenPayloadBytes);
+      auto decoded = DecodeProbeOpen(wire);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->target_key, key);
+      EXPECT_EQ(decoded->bit, bit);
+      EXPECT_EQ(EncodeProbeOpen(*decoded), wire) << "non-canonical";
+      ExpectLengthStrict(wire);
+      ExpectHeaderStrict(wire);
+    }
+  }
+}
+
+TEST(ProbeOpenTest, RejectsCorruptPayload) {
+  const std::string wire = EncodeProbeOpen({42, 9});
+  // Reserved field must be zero; the bit field is one byte wide in
+  // range but two on the wire, so its high byte must be zero too.
+  EXPECT_FALSE(DecodeProbeOpen(WithByte(wire, kWireHeaderBytes + 10, 1)).ok());
+  EXPECT_FALSE(DecodeProbeOpen(WithByte(wire, kWireHeaderBytes + 9, 1)).ok());
+  // Wrong frame type reaches the typed decoder.
+  EXPECT_FALSE(DecodeProbeOpen(EncodeMetricQuery({1, 2})).ok());
+}
+
+TEST(MetricQueryTest, RoundTripGrid) {
+  for (uint64_t metric : {uint64_t{0}, uint64_t{77},
+                          std::numeric_limits<uint64_t>::max()}) {
+    for (int bit : {0, 128, 255}) {
+      const std::string wire = EncodeMetricQuery({metric, bit});
+      EXPECT_EQ(wire.size(), kWireHeaderBytes + kMetricQueryEnvelopeBytes);
+      auto decoded = DecodeMetricQuery(wire);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->metric_id, metric);
+      EXPECT_EQ(decoded->bit, bit);
+      EXPECT_EQ(EncodeMetricQuery(*decoded), wire);
+      ExpectLengthStrict(wire);
+      ExpectHeaderStrict(wire);
+    }
+  }
+}
+
+TEST(VectorResponseTest, RoundTripGrid) {
+  const std::vector<std::vector<int>> grids = {
+      {}, {0}, {65535}, {0, 1, 2}, {3, 17, 9000, 65535}};
+  for (const auto& ids : grids) {
+    VectorResponseFrame frame;
+    frame.metric_id = 0xfeed;
+    frame.vector_ids = ids;
+    const std::string wire = EncodeVectorResponse(frame);
+    EXPECT_EQ(wire.size(),
+              kWireHeaderBytes + VectorResponsePayloadBytes(ids.size()));
+    auto decoded = DecodeVectorResponse(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->metric_id, frame.metric_id);
+    EXPECT_EQ(decoded->vector_ids, ids);
+    EXPECT_EQ(EncodeVectorResponse(*decoded), wire);
+    ExpectLengthStrict(wire);
+    ExpectHeaderStrict(wire);
+  }
+}
+
+TEST(VectorResponseTest, RejectsCorruptPayload) {
+  VectorResponseFrame frame;
+  frame.metric_id = 5;
+  frame.vector_ids = {10, 20};
+  const std::string wire = EncodeVectorResponse(frame);
+  // Duplicate (equal) ids break the strictly-ascending invariant.
+  std::string dup = wire;
+  dup[kWireHeaderBytes + 10] = dup[kWireHeaderBytes + 8];
+  dup[kWireHeaderBytes + 11] = dup[kWireHeaderBytes + 9];
+  EXPECT_FALSE(DecodeVectorResponse(dup).ok());
+  // Descending ids too.
+  std::string desc = dup;
+  desc[kWireHeaderBytes + 10] = 1;
+  EXPECT_FALSE(DecodeVectorResponse(desc).ok());
+}
+
+std::vector<StoreKey> DhsKeys(uint64_t metric, int bit,
+                              const std::vector<int>& vectors) {
+  std::vector<StoreKey> keys;
+  keys.reserve(vectors.size());
+  for (int v : vectors) keys.push_back(StoreKey::Dhs(metric, bit, v));
+  return keys;
+}
+
+TEST(PutTest, RoundTripGrid) {
+  for (uint64_t expiry : {uint64_t{0}, uint64_t{1000}, kNoExpiry}) {
+    for (bool absolute : {false, true}) {
+      for (const auto& vectors :
+           std::vector<std::vector<int>>{{0}, {1, 2, 3}, {65535}}) {
+        PutFrame frame;
+        frame.dst_key = 0xabcdef;
+        frame.metric_id = 0x1122334455667788;
+        frame.expiry = expiry;
+        frame.absolute_expiry = absolute;
+        frame.keys = DhsKeys(frame.metric_id, 6, vectors);
+        const std::string wire = EncodePut(frame);
+        EXPECT_EQ(wire.size(), kWireHeaderBytes + kPutEnvelopeBytes +
+                                   PutPayloadBytes(vectors.size()));
+        auto decoded = DecodePut(wire);
+        ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+        EXPECT_EQ(decoded->dst_key, frame.dst_key);
+        EXPECT_EQ(decoded->metric_id, frame.metric_id);
+        EXPECT_EQ(decoded->expiry, expiry);
+        EXPECT_EQ(decoded->absolute_expiry, absolute);
+        ASSERT_EQ(decoded->keys.size(), vectors.size());
+        for (size_t i = 0; i < vectors.size(); ++i) {
+          EXPECT_EQ(decoded->keys[i].metric_id(), frame.metric_id);
+          EXPECT_EQ(decoded->keys[i].bit(), 6);
+          EXPECT_EQ(decoded->keys[i].vector_id(), vectors[i]);
+        }
+        EXPECT_EQ(EncodePut(*decoded), wire);
+        ExpectLengthStrict(wire);
+        ExpectHeaderStrict(wire);
+      }
+    }
+  }
+}
+
+TEST(PutTest, RejectsCorruptPayload) {
+  PutFrame frame;
+  frame.metric_id = 0x42;
+  frame.expiry = 500;
+  frame.keys = DhsKeys(frame.metric_id, 3, {7});
+  const std::string wire = EncodePut(frame);
+  const size_t tuple = kWireHeaderBytes + kPutEnvelopeBytes;
+  // Tuple metric_low must be a projection of the envelope metric.
+  EXPECT_FALSE(DecodePut(WithByte(wire, tuple, 0x43)).ok());
+  // Tuple timeout must be a projection of the envelope expiry.
+  EXPECT_FALSE(DecodePut(WithByte(wire, tuple + 4, 0xee)).ok());
+  // An empty put group has no meaning on the wire.
+  PutFrame empty = frame;
+  empty.keys.clear();
+  EXPECT_FALSE(DecodePut(EncodePut(empty)).ok());
+}
+
+TEST(AckTest, RoundTripGrid) {
+  for (uint8_t code : {uint8_t{0}, uint8_t{3},
+                       static_cast<uint8_t>(StatusCode::kInternal)}) {
+    for (int hops : {0, 1, 65535}) {
+      AckFrame frame;
+      frame.code = code;
+      frame.node = 0x8000000000000001;
+      frame.hops = hops;
+      const std::string wire = EncodeAck(frame);
+      EXPECT_EQ(wire.size(), kWireHeaderBytes + kAckEnvelopeBytes);
+      auto decoded = DecodeAck(wire);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->code, code);
+      EXPECT_EQ(decoded->node, frame.node);
+      EXPECT_EQ(decoded->hops, hops);
+      EXPECT_EQ(EncodeAck(*decoded), wire);
+      ExpectLengthStrict(wire);
+      ExpectHeaderStrict(wire);
+    }
+  }
+}
+
+TEST(AckTest, RejectsUnknownStatusCode) {
+  const std::string wire = EncodeAck({0, 9, 2});
+  EXPECT_FALSE(DecodeAck(WithByte(wire, kWireHeaderBytes, 0xff)).ok());
+}
+
+TEST(MigrateTest, RoundTripGrid) {
+  MigrateFrame frame;
+  const std::string wire_empty = EncodeMigrate(frame);
+  auto decoded_empty = DecodeMigrate(wire_empty);
+  ASSERT_TRUE(decoded_empty.ok());
+  EXPECT_TRUE(decoded_empty->records.empty());
+
+  MigrateRecord a;
+  a.dht_key = 0x1111;
+  a.key = StoreKey::Dhs(9, 4, 2);
+  a.expires_at = 777;
+  a.value = "payload bytes";
+  MigrateRecord b;
+  b.dht_key = 0x2222;
+  b.key = StoreKey::Dhs(10, 0, 0);
+  b.expires_at = kNoExpiry;
+  frame.records = {a, b};
+  const std::string wire = EncodeMigrate(frame);
+  auto decoded = DecodeMigrate(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->records.size(), 2u);
+  EXPECT_EQ(decoded->records[0].dht_key, a.dht_key);
+  EXPECT_EQ(decoded->records[0].value, a.value);
+  EXPECT_EQ(decoded->records[1].expires_at, kNoExpiry);
+  EXPECT_EQ(EncodeMigrate(*decoded), wire);
+  ExpectLengthStrict(wire);
+  ExpectHeaderStrict(wire);
+}
+
+TEST(MigrateTest, RejectsCorruptPayload) {
+  MigrateFrame frame;
+  MigrateRecord record;
+  record.dht_key = 5;
+  record.key = StoreKey::Dhs(1, 1, 1);
+  record.value = "v";
+  frame.records = {record};
+  std::string wire = EncodeMigrate(frame);
+  // Overstate the record count: the decoder runs out of body.
+  EXPECT_FALSE(DecodeMigrate(WithByte(wire, kWireHeaderBytes, 2)).ok());
+  // Understate it: trailing bytes after the declared records.
+  EXPECT_FALSE(DecodeMigrate(WithByte(wire, kWireHeaderBytes, 0)).ok());
+}
+
+TEST(CountRequestTest, RoundTripGrid) {
+  for (const auto& metrics : std::vector<std::vector<uint64_t>>{
+           {1}, {0, std::numeric_limits<uint64_t>::max()}, {5, 6, 7, 8}}) {
+    CountRequestFrame frame;
+    frame.metric_ids = metrics;
+    const std::string wire = EncodeCountRequest(frame);
+    auto decoded = DecodeCountRequest(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->metric_ids, metrics);
+    EXPECT_EQ(EncodeCountRequest(*decoded), wire);
+    ExpectLengthStrict(wire);
+    ExpectHeaderStrict(wire);
+  }
+}
+
+TEST(CountRequestTest, RejectsEmptyRequest) {
+  EXPECT_FALSE(DecodeCountRequest(EncodeCountRequest({})).ok());
+}
+
+TEST(CountResponseTest, RoundTripGrid) {
+  for (bool gave_up : {false, true}) {
+    CountResponseFrame frame;
+    frame.gave_up = gave_up;
+    frame.bitmaps_unresolved = 3;
+    CountResponseEntry resolved;
+    resolved.estimate = 123456.789;
+    resolved.observables = {-1, 0, 5, 32767};
+    CountResponseEntry empty_entry;
+    empty_entry.estimate = 0.0;
+    frame.entries = {resolved, empty_entry};
+    const std::string wire = EncodeCountResponse(frame);
+    auto decoded = DecodeCountResponse(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->gave_up, gave_up);
+    EXPECT_EQ(decoded->bitmaps_unresolved, 3u);
+    ASSERT_EQ(decoded->entries.size(), 2u);
+    EXPECT_EQ(decoded->entries[0].estimate, resolved.estimate);
+    EXPECT_EQ(decoded->entries[0].observables, resolved.observables);
+    EXPECT_TRUE(decoded->entries[1].observables.empty());
+    EXPECT_EQ(EncodeCountResponse(*decoded), wire);
+    ExpectLengthStrict(wire);
+    ExpectHeaderStrict(wire);
+  }
+}
+
+TEST(CountResponseTest, RejectsCorruptPayload) {
+  CountResponseFrame frame;
+  CountResponseEntry entry;
+  entry.estimate = 9.5;
+  entry.observables = {4};
+  frame.entries = {entry};
+  const std::string wire = EncodeCountResponse(frame);
+  // Overstate the observable count: truncated observables.
+  const size_t m_at = kWireHeaderBytes + kCountResponseEnvelopeBytes + 8;
+  EXPECT_FALSE(DecodeCountResponse(WithByte(wire, m_at, 7)).ok());
+  // An observable of -2 (0xfffe) is below the -1 floor.
+  std::string low = wire;
+  low[m_at + 2] = static_cast<char>(0xfe);
+  low[m_at + 3] = static_cast<char>(0xff);
+  EXPECT_FALSE(DecodeCountResponse(low).ok());
+}
+
+TEST(SketchFrameTest, RoundTripsEveryFamilySerialization) {
+  MixHasher hasher(11);
+  uint64_t salt = 0;
+
+  PcsaSketch pcsa(16, 24);
+  LogLogSketch loglog(16, 24);
+  HllSketch hll(16, 24);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t hash = hasher.HashU64(salt++);
+    pcsa.AddHash(hash);
+    loglog.AddHash(hash);
+    hll.AddHash(hash);
+  }
+
+  struct Case {
+    uint8_t family;
+    std::string payload;
+  };
+  const std::vector<Case> cases = {{kSketchFamilyPcsa, pcsa.Serialize()},
+                                   {kSketchFamilyLogLog, loglog.Serialize()},
+                                   {kSketchFamilyHyperLogLog, hll.Serialize()}};
+  for (const Case& c : cases) {
+    SketchFrame frame;
+    frame.family = c.family;
+    frame.payload = c.payload;
+    const std::string wire = EncodeSketch(frame);
+    EXPECT_EQ(wire.size(),
+              kWireHeaderBytes + kSketchEnvelopeBytes + c.payload.size());
+    auto decoded = DecodeSketch(wire);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->family, c.family);
+    EXPECT_EQ(decoded->payload, c.payload);
+    EXPECT_EQ(EncodeSketch(*decoded), wire);
+    ExpectLengthStrict(wire);
+    ExpectHeaderStrict(wire);
+  }
+
+  // The carried bytes deserialize back to an estimator with the same
+  // estimate — the frame is a faithful envelope around the PR 2 codecs.
+  auto carried = DecodeSketch(EncodeSketch({kSketchFamilyHyperLogLog,
+                                            hll.Serialize()}));
+  ASSERT_TRUE(carried.ok());
+  auto revived = HllSketch::Deserialize(carried->payload);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ(revived->Estimate(), hll.Estimate());
+}
+
+TEST(SketchFrameTest, RejectsCorruptPayload) {
+  const std::string wire = EncodeSketch({kSketchFamilyPcsa, "abc"});
+  EXPECT_FALSE(DecodeSketch(WithByte(wire, kWireHeaderBytes, 0)).ok());
+  EXPECT_FALSE(DecodeSketch(WithByte(wire, kWireHeaderBytes, 4)).ok());
+  // A family byte with no payload behind it.
+  std::string empty;
+  empty.push_back(static_cast<char>(kWireMagic));
+  empty.push_back(static_cast<char>(kWireVersion));
+  empty.push_back(static_cast<char>(FrameType::kSketch));
+  empty.push_back('\0');
+  empty.push_back(1);
+  empty.append(3, '\0');
+  empty.push_back(static_cast<char>(kSketchFamilyPcsa));
+  EXPECT_FALSE(DecodeSketch(empty).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Accounting invariants: the encoded frames charge exactly the paper's
+// §5.1 sizes, so the measured transports reproduce the accounted runs.
+
+TEST(AccountingTest, SizeHelpersMatchConfigFormulas) {
+  const DhsConfig config;
+  EXPECT_EQ(kProbeOpenPayloadBytes, config.ProbeRequestBytes());
+  EXPECT_EQ(PutPayloadBytes(1), config.TupleBytes());
+  EXPECT_EQ(PutPayloadBytes(17), 17 * config.TupleBytes());
+  for (size_t v : {size_t{0}, size_t{1}, size_t{9}, size_t{128}}) {
+    EXPECT_EQ(VectorResponsePayloadBytes(v), config.ProbeResponseBytes(v));
+  }
+}
+
+TEST(AccountingTest, AccountedPayloadPerType) {
+  auto accounted = [](const std::string& wire) {
+    auto bytes = AccountedPayloadBytes(wire);
+    CHECK_OK(bytes);
+    return *bytes;
+  };
+  EXPECT_EQ(accounted(EncodeProbeOpen({1, 2})), kProbeOpenPayloadBytes);
+  EXPECT_EQ(accounted(EncodeMetricQuery({1, 2})), 0u);
+  VectorResponseFrame response;
+  response.vector_ids = {1, 2, 3};
+  EXPECT_EQ(accounted(EncodeVectorResponse(response)),
+            VectorResponsePayloadBytes(3));
+  PutFrame put;
+  put.metric_id = 4;
+  put.keys = DhsKeys(4, 2, {1, 2});
+  EXPECT_EQ(accounted(EncodePut(put)), PutPayloadBytes(2));
+  EXPECT_EQ(accounted(EncodeAck({0, 1, 2})), 0u);
+  MigrateFrame migrate;
+  MigrateRecord record;
+  record.key = StoreKey::Dhs(1, 1, 1);
+  record.value = "vvv";
+  migrate.records = {record};
+  EXPECT_EQ(accounted(EncodeMigrate(migrate)), 0u) << "repair is uncharged";
+  CountRequestFrame count;
+  count.metric_ids = {1, 2, 3};
+  EXPECT_EQ(accounted(EncodeCountRequest(count)), 24u);
+  EXPECT_EQ(accounted(EncodeSketch({kSketchFamilyPcsa, "abcd"})), 4u);
+}
+
+TEST(AccountingTest, FrameOverheadCoversHeaderAndEnvelope) {
+  EXPECT_EQ(FrameOverheadBytes(FrameType::kProbeOpen), kWireHeaderBytes);
+  EXPECT_EQ(FrameOverheadBytes(FrameType::kMetricQuery),
+            kWireHeaderBytes + kMetricQueryEnvelopeBytes);
+  EXPECT_EQ(FrameOverheadBytes(FrameType::kPut),
+            kWireHeaderBytes + kPutEnvelopeBytes);
+  EXPECT_EQ(FrameOverheadBytes(FrameType::kAck),
+            kWireHeaderBytes + kAckEnvelopeBytes);
+}
+
+TEST(RoutedDstKeyTest, RoutableTypesLeadWithTheKey) {
+  auto probe_key = RoutedDstKey(EncodeProbeOpen({0xdead, 3}));
+  ASSERT_TRUE(probe_key.ok());
+  EXPECT_EQ(*probe_key, 0xdeadu);
+  PutFrame put;
+  put.dst_key = 0xbeef;
+  put.metric_id = 1;
+  put.keys = DhsKeys(1, 0, {0});
+  auto put_key = RoutedDstKey(EncodePut(put));
+  ASSERT_TRUE(put_key.ok());
+  EXPECT_EQ(*put_key, 0xbeefu);
+  EXPECT_FALSE(RoutedDstKey(EncodeAck({0, 1, 2})).ok());
+  EXPECT_FALSE(RoutedDstKey(EncodeMetricQuery({1, 2})).ok());
+}
+
+}  // namespace
+}  // namespace dhs

@@ -1,0 +1,131 @@
+// Fuzz target: DHS wire-frame parsers (dht/wire.h).
+//
+// Feeds arbitrary bytes to ParseFrame, AccountedPayloadBytes,
+// RoutedDstKey and every typed decoder. Contract under test:
+//
+//   * no crash / UB on any input — malformed frames come back as error
+//     Status values, never a CHECK failure or out-of-bounds read;
+//   * accepted frames are canonical: Encode(Decode(b)) == b
+//     byte-for-byte for every decoder that accepts b (strict parsing
+//     leaves no room for two encodings of the same message);
+//   * parser agreement: a frame any typed decoder accepts also parses
+//     at the header level, and its accounted payload never exceeds the
+//     body.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "dht/store.h"
+#include "dht/wire.h"
+
+namespace {
+
+using dhs::AccountedPayloadBytes;
+using dhs::FrameType;
+using dhs::ParseFrame;
+using dhs::RoutedDstKey;
+
+template <typename Decoded, typename Decode, typename Encode>
+void CheckCanonical(const std::string& input, Decode decode, Encode encode,
+                    const char* what) {
+  auto decoded = decode(input);
+  if (!decoded.ok()) return;  // rejected: fine, as long as it's a Status
+  const std::string round = encode(*decoded);
+  CHECK(round == input) << "accepted " << what << " frame is not canonical: "
+                        << input.size() << " bytes in, " << round.size()
+                        << " bytes back";
+  // Anything a typed decoder accepts must be a well-formed frame with a
+  // payload no larger than its body.
+  auto view = ParseFrame(input);
+  CHECK_OK(view);
+  auto accounted = AccountedPayloadBytes(input);
+  CHECK_OK(accounted);
+  CHECK(*accounted <= view->body.size())
+      << what << " accounted payload exceeds the body";
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+  (void)ParseFrame(input);
+  (void)AccountedPayloadBytes(input);
+  (void)RoutedDstKey(input);
+  CheckCanonical<dhs::ProbeOpenFrame>(input, dhs::DecodeProbeOpen,
+                                      dhs::EncodeProbeOpen, "probe_open");
+  CheckCanonical<dhs::MetricQueryFrame>(input, dhs::DecodeMetricQuery,
+                                        dhs::EncodeMetricQuery,
+                                        "metric_query");
+  CheckCanonical<dhs::VectorResponseFrame>(input, dhs::DecodeVectorResponse,
+                                           dhs::EncodeVectorResponse,
+                                           "vector_response");
+  CheckCanonical<dhs::PutFrame>(input, dhs::DecodePut, dhs::EncodePut, "put");
+  CheckCanonical<dhs::AckFrame>(input, dhs::DecodeAck, dhs::EncodeAck, "ack");
+  CheckCanonical<dhs::MigrateFrame>(input, dhs::DecodeMigrate,
+                                    dhs::EncodeMigrate, "migrate");
+  CheckCanonical<dhs::CountRequestFrame>(input, dhs::DecodeCountRequest,
+                                         dhs::EncodeCountRequest,
+                                         "count_request");
+  CheckCanonical<dhs::CountResponseFrame>(input, dhs::DecodeCountResponse,
+                                          dhs::EncodeCountResponse,
+                                          "count_response");
+  CheckCanonical<dhs::SketchFrame>(input, dhs::DecodeSketch,
+                                   dhs::EncodeSketch, "sketch");
+  return 0;
+}
+
+std::vector<std::string> FuzzSeedCorpus() {
+  std::vector<std::string> seeds;
+  seeds.push_back(dhs::EncodeProbeOpen({0x0123456789abcdef, 17}));
+  seeds.push_back(dhs::EncodeMetricQuery({42, 9}));
+  {
+    dhs::VectorResponseFrame response;
+    response.metric_id = 42;
+    response.vector_ids = {0, 3, 17, 65535};
+    seeds.push_back(dhs::EncodeVectorResponse(response));
+  }
+  {
+    dhs::PutFrame put;
+    put.dst_key = 0xfeedface;
+    put.metric_id = 0x1122334455667788;
+    put.expiry = 1000;
+    for (int v : {1, 2, 3}) {
+      put.keys.push_back(dhs::StoreKey::Dhs(put.metric_id, 5, v));
+    }
+    seeds.push_back(dhs::EncodePut(put));
+    put.absolute_expiry = true;
+    seeds.push_back(dhs::EncodePut(put));
+  }
+  seeds.push_back(dhs::EncodeAck({0, 0xabcd, 3}));
+  {
+    dhs::MigrateFrame migrate;
+    dhs::MigrateRecord record;
+    record.dht_key = 7;
+    record.key = dhs::StoreKey::Dhs(9, 4, 2);
+    record.expires_at = dhs::kNoExpiry;
+    record.value = "value bytes";
+    migrate.records.push_back(record);
+    seeds.push_back(dhs::EncodeMigrate(migrate));
+  }
+  {
+    dhs::CountRequestFrame request;
+    request.metric_ids = {1, 2, 3};
+    seeds.push_back(dhs::EncodeCountRequest(request));
+  }
+  {
+    dhs::CountResponseFrame response;
+    response.gave_up = true;
+    response.bitmaps_unresolved = 2;
+    dhs::CountResponseEntry entry;
+    entry.estimate = 12345.5;
+    entry.observables = {-1, 0, 7};
+    response.entries.push_back(entry);
+    seeds.push_back(dhs::EncodeCountResponse(response));
+  }
+  seeds.push_back(
+      dhs::EncodeSketch({dhs::kSketchFamilyHyperLogLog, "0123456789"}));
+  return seeds;
+}
+#include "fuzz_driver.h"

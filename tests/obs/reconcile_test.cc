@@ -17,6 +17,7 @@
 #include "dht/chord.h"
 #include "dht/kademlia.h"
 #include "dht/network.h"
+#include "dht/transport.h"
 #include "dhs/client.h"
 #include "obs/trace.h"
 
@@ -127,6 +128,71 @@ TEST_P(ReconcileTest, RootSpansSumToGlobalStats) {
     EXPECT_GT(fired.drops + fired.timeouts, 0u)
         << "fault plan never fired; the faulted case tested nothing";
   }
+  EXPECT_TRUE(net->AuditFull().ok());
+}
+
+// Wire-frame reconciliation: the same invariant one layer down. Every
+// byte MessageStats charges during DHS data-plane traffic is derived
+// from an encoded frame the transport moved, so the sum of tapped
+// charged_bytes equals the global byte counter exactly — again on both
+// geometries, clean and faulted (a faulted frame is tapped undelivered
+// with zero charge).
+TEST_P(ReconcileTest, TappedFramesSumToGlobalByteCount) {
+  const ReconcileCase& param = GetParam();
+  auto net = MakeNetwork(param.kademlia);
+
+  Rng rng(20260807);
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_TRUE(net->AddNode(rng.Next()).ok());
+  }
+  if (param.faults) {
+    FaultConfig faults;
+    faults.drop_probability = 0.08;
+    faults.timeout_probability = 0.05;
+    faults.seed = 99;
+    ASSERT_TRUE(net->SetFaultPlan(faults).ok());
+  }
+
+  DhsConfig config;
+  config.k = 24;
+  config.m = 16;
+  config.lim = 3;
+  config.replication = 2;
+  config.retry_attempts = 2;
+  auto client = DhsClient::Create(net.get(), config);
+  ASSERT_TRUE(client.ok());
+
+  uint64_t charged = 0;
+  uint64_t frames = 0;
+  client->transport()->set_frame_tap([&](const FrameTapEvent& event) {
+    charged += event.charged_bytes;
+    frames += 1;
+  });
+
+  const MessageStats before = net->stats();
+  const uint64_t metric = 7;
+  for (int step = 0; step < 200; ++step) {
+    const uint64_t origin = net->RandomNode(rng);
+    switch (rng.Next() % 3) {
+      case 0: {
+        (void)client->Insert(origin, metric, rng.Next(), rng);
+        break;
+      }
+      case 1: {
+        std::vector<uint64_t> batch;
+        for (int i = 0; i < 20; ++i) batch.push_back(rng.Next());
+        (void)client->InsertBatch(origin, metric, batch, rng);
+        break;
+      }
+      case 2: {
+        (void)client->Count(origin, metric, rng);
+        break;
+      }
+    }
+  }
+  const MessageStats delta = net->stats() - before;
+  EXPECT_GT(frames, 0u);
+  EXPECT_EQ(charged, delta.bytes);
   EXPECT_TRUE(net->AuditFull().ok());
 }
 

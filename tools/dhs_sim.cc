@@ -34,6 +34,13 @@
 //                         on worker threads; K=1 runs it inline);
 //                         fixed-seed runs are byte-identical across
 //                         shard counts
+//   --transport=<sim|loopback>
+//                         backend the client's frames travel through:
+//                         in-process simulator calls (default) or a
+//                         real AF_UNIX socket pair (dht/loopback.h);
+//                         both produce byte-identical output at a fixed
+//                         seed. Incompatible with --shards (the engine
+//                         moves batches, not per-frame traffic)
 //   --trace-out=<path>    record per-operation spans; written as Chrome
 //                         trace-event JSON at exit (or <path>.jsonl next
 //                         to it when the path ends in .jsonl)
@@ -57,6 +64,7 @@
 #include "dhs/metrics.h"
 #include "dht/chord.h"
 #include "dht/kademlia.h"
+#include "dht/loopback.h"
 #include "dht/shard.h"
 #include "hashing/hasher.h"
 #include "obs/metrics.h"
@@ -74,6 +82,9 @@ struct SimState {
   /// engine (declared after, destroyed first).
   bool use_engine = false;
   int shards = 1;
+  /// --transport=loopback: route every client frame through a real
+  /// AF_UNIX socket pair instead of in-process simulator calls.
+  bool use_loopback = false;
   std::unique_ptr<ShardedNetwork> engine;
   std::unique_ptr<DhsFrontDoor> front;
   DhsConfig config;
@@ -107,7 +118,12 @@ bool RequireNetwork(const SimState& state) {
 bool RequireClient(SimState& state) {
   if (!RequireNetwork(state)) return false;
   if (state.client == nullptr) {
-    auto client = DhsClient::Create(state.network.get(), state.config);
+    auto client =
+        state.use_loopback
+            ? DhsClient::Create(
+                  state.network.get(), state.config,
+                  std::make_shared<LoopbackTransport>(state.network.get()))
+            : DhsClient::Create(state.network.get(), state.config);
     if (!client.ok()) {
       std::printf("error: %s\n", client.status().ToString().c_str());
       return false;
@@ -403,12 +419,23 @@ int Run(int argc, char** argv) {
       state.shards = std::atoi(arg.c_str() + 9);
       if (state.shards < 1) state.shards = 1;
       state.use_engine = true;
+    } else if (arg == "--transport=sim") {
+      state.use_loopback = false;
+    } else if (arg == "--transport=loopback") {
+      state.use_loopback = true;
     } else {
       std::fprintf(stderr,
-                   "usage: dhs_sim [--shards=K] [--trace-out=PATH] "
-                   "[--metrics-out=PATH] < commands\n");
+                   "usage: dhs_sim [--shards=K] [--transport=sim|loopback] "
+                   "[--trace-out=PATH] [--metrics-out=PATH] < commands\n");
       return 2;
     }
+  }
+  if (state.use_loopback && state.use_engine) {
+    std::fprintf(stderr,
+                 "error: --transport=loopback is incompatible with --shards "
+                 "(the sharded engine exchanges op batches, not per-frame "
+                 "traffic)\n");
+    return 2;
   }
   std::string line;
   const bool interactive = isatty(fileno(stdin));
