@@ -361,12 +361,15 @@ std::vector<int> DhsClient::ProbeNodeForMetric(uint64_t node,
   return std::move(decoded->vector_ids);
 }
 
-int DhsClient::LimForBit(int bit) const {
+int DhsClient::LimForBit(int bit, const DhsCountOptions& options) const {
+  const int flat = options.lim_override > 0
+                       ? std::clamp(options.lim_override, 1, config_.max_lim)
+                       : config_.lim;
   if (!config_.adaptive_lim || config_.expected_cardinality == 0) {
-    return config_.lim;
+    return flat;
   }
   auto interval = mapping_.IntervalForBit(bit);
-  if (!interval.ok()) return config_.lim;
+  if (!interval.ok()) return flat;
   // Expected nodes in the interval (N') and items mapped to it (n', over
   // all bitmaps): eq. 6 then gives the probes needed for the configured
   // hit probability. Sub-node intervals have at most a couple of
@@ -375,25 +378,26 @@ int DhsClient::LimForBit(int bit) const {
       std::ldexp(static_cast<double>(interval->size),
                  -space_bits_cached_);
   const double n_bins = fraction * static_cast<double>(network_->NumNodes());
-  if (n_bins < 2.0) return config_.lim;
+  if (n_bins < 2.0) return flat;
   const double n_items = std::ldexp(
       static_cast<double>(config_.expected_cardinality), -(bit + 1));
   const int required = RequiredProbesReplicated(
       static_cast<uint64_t>(n_bins), static_cast<uint64_t>(n_items),
       config_.m, config_.replication,
       /*p_miss=*/1.0 - config_.adaptive_confidence);
-  return std::clamp(required, config_.lim, config_.max_lim);
+  return std::clamp(required, flat, config_.max_lim);
 }
 
 template <typename VisitFn, typename DoneFn>
-Status DhsClient::ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
+Status DhsClient::ProbeInterval(uint64_t origin_node, int bit,
+                                const DhsCountOptions& options, Rng& rng,
                                 DhsCostReport* cost, VisitFn&& visit,
                                 DoneFn&& done, bool* abandoned) {
   *abandoned = false;
   auto interval_or = mapping_.IntervalForBit(bit);
   if (!interval_or.ok()) return interval_or.status();
   const IdInterval interval = *interval_or;
-  const int lim = LimForBit(bit);
+  const int lim = LimForBit(bit, options);
 
   ScopedSpan span(network_->tracer(), "probe_interval");
   if (span.active()) {
@@ -470,6 +474,12 @@ StatusOr<DhsCountResult> DhsClient::Count(uint64_t origin_node,
 StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
     uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
     Rng& rng) {
+  return CountMany(origin_node, metric_ids, rng, DhsCountOptions{});
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+    const DhsCountOptions& options) {
   if (metric_ids.empty()) {
     return Status::InvalidArgument("no metrics given");
   }
@@ -483,8 +493,8 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
   // sLL and HLL share the max-rho (high -> low) scan; PCSA scans for the
   // leftmost zero (low -> high).
   auto result = config_.estimator == DhsEstimator::kPcsa
-                    ? CountManyPcsa(origin_node, metric_ids, rng)
-                    : CountManySll(origin_node, metric_ids, rng);
+                    ? CountManyPcsa(origin_node, metric_ids, rng, options)
+                    : CountManySll(origin_node, metric_ids, rng, options);
   MaybeAudit();
   if (result.ok()) {
     if (span.active()) {
@@ -498,8 +508,8 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountMany(
 }
 
 StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
-    uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
-    Rng& rng) {
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+    const DhsCountOptions& options) {
   const size_t num_metrics = metric_ids.size();
   const int m = config_.m;
   MultiCountResult result;
@@ -537,7 +547,7 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
        --r) {
     bool abandoned = false;
     Status s = ProbeInterval(
-        origin_node, r, rng, &result.cost,
+        origin_node, r, options, rng, &result.cost,
         [&](uint64_t node) {
           for (size_t mi = 0; mi < num_metrics; ++mi) {
             std::vector<int>& observed = result.observables[mi];
@@ -573,7 +583,7 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
   if (config_.frontier_cache && !result.gave_up &&
       result.cost.failed_probes == 0) {
     for (size_t mi = 0; mi < num_metrics; ++mi) {
-      frontier_[metric_ids[mi]] = result.observables[mi];
+      StoreFrontier(metric_ids[mi], result.observables[mi]);
     }
   }
 
@@ -596,9 +606,24 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManySll(
   return result;
 }
 
+void DhsClient::StoreFrontier(uint64_t metric_id,
+                              const std::vector<int>& observables) {
+  auto it = frontier_.find(metric_id);
+  if (it != frontier_.end()) {
+    it->second = observables;
+    return;
+  }
+  if (config_.frontier_max_entries > 0 &&
+      frontier_.size() >=
+          static_cast<size_t>(config_.frontier_max_entries)) {
+    frontier_.erase(frontier_.begin());
+  }
+  frontier_.emplace(metric_id, observables);
+}
+
 StatusOr<DhsClient::MultiCountResult> DhsClient::CountManyPcsa(
-    uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
-    Rng& rng) {
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+    const DhsCountOptions& options) {
   const size_t num_metrics = metric_ids.size();
   const int m = config_.m;
   MultiCountResult result;
@@ -620,7 +645,7 @@ StatusOr<DhsClient::MultiCountResult> DhsClient::CountManyPcsa(
 
     bool abandoned = false;
     Status s = ProbeInterval(
-        origin_node, r, rng, &result.cost,
+        origin_node, r, options, rng, &result.cost,
         [&](uint64_t node) {
           for (size_t mi = 0; mi < num_metrics; ++mi) {
             const std::vector<int> vectors =

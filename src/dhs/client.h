@@ -95,6 +95,16 @@ struct DhsPlacement {
   int rho = 0;        // bit position in [0, RhoBits()]
 };
 
+/// Per-count overrides, threaded through CountMany by callers that
+/// manage the probe budget themselves (the serving layer's online lim
+/// tuner). Defaults leave the configured behaviour untouched.
+struct DhsCountOptions {
+  /// > 0: replaces the configured flat `lim` for this count (and the
+  /// adaptive floor when adaptive_lim is on), clamped to
+  /// [1, config.max_lim]. 0 = use config.lim.
+  int lim_override = 0;
+};
+
 class DhsClient {
  public:
   /// The network must outlive the client. Call Validate()d configs only;
@@ -162,6 +172,24 @@ class DhsClient {
   [[nodiscard]] StatusOr<MultiCountResult> CountMany(uint64_t origin_node,
                                        const std::vector<uint64_t>& metric_ids,
                                        Rng& rng);
+  [[nodiscard]] StatusOr<MultiCountResult> CountMany(
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+      const DhsCountOptions& options);
+
+  /// Explicit frontier-cache invalidation: drops the cached observables
+  /// for `metric_id`. Required when inserts for the metric bypass this
+  /// client (another endpoint, a maintainer on its own client, record
+  /// migration after churn) — those can raise a bitmap's max rho above
+  /// the cached frontier, and a frontier-started scan would silently
+  /// undercount. No-op when the metric is not cached.
+  void InvalidateFrontier(uint64_t metric_id) { frontier_.erase(metric_id); }
+  void InvalidateAllFrontiers() { frontier_.clear(); }
+
+  /// Frontier-cache introspection (tests and the serving layer).
+  size_t FrontierEntries() const { return frontier_.size(); }
+  bool HasFrontier(uint64_t metric_id) const {
+    return frontier_.count(metric_id) > 0;
+  }
 
   /// DHS-level audit: BitMapping::AuditFull plus placement agreement —
   /// every DHS-typed record in the network must carry a bit inside the
@@ -219,7 +247,8 @@ class DhsClient {
   /// `*abandoned` is set and OK is returned so the count can continue
   /// degraded.
   template <typename VisitFn, typename DoneFn>
-  [[nodiscard]] Status ProbeInterval(uint64_t origin_node, int bit, Rng& rng,
+  [[nodiscard]] Status ProbeInterval(uint64_t origin_node, int bit,
+                       const DhsCountOptions& options, Rng& rng,
                        DhsCostReport* cost, VisitFn&& visit, DoneFn&& done,
                        bool* abandoned);
 
@@ -228,16 +257,22 @@ class DhsClient {
   std::vector<int> ProbeNodeForMetric(uint64_t node, uint64_t metric_id,
                                       int bit, DhsCostReport* cost);
 
-  /// Probe budget for bit r: the flat config lim, or the eq. 6 value for
-  /// the interval's expected density when adaptive_lim is enabled.
-  int LimForBit(int bit) const;
+  /// Probe budget for bit r: the flat lim (config, or the options
+  /// override), or the eq. 6 value for the interval's expected density
+  /// when adaptive_lim is enabled (the flat lim stays the floor).
+  int LimForBit(int bit, const DhsCountOptions& options) const;
 
   [[nodiscard]] StatusOr<MultiCountResult> CountManySll(
-      uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
-      Rng& rng);
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+      const DhsCountOptions& options);
   [[nodiscard]] StatusOr<MultiCountResult> CountManyPcsa(
-      uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
-      Rng& rng);
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+      const DhsCountOptions& options);
+
+  /// Caches `observables` as `metric_id`'s frontier, enforcing the
+  /// config_.frontier_max_entries bound (evicting the lowest cached
+  /// metric id when full — deterministic, so twin worlds agree).
+  void StoreFrontier(uint64_t metric_id, const std::vector<int>& observables);
 
   /// Client-level op instruments, one set per root operation.
   enum OpIndex { kOpInsert = 0, kOpInsertBatch, kOpCount, kNumOps };

@@ -72,6 +72,9 @@ Status DhsConfig::Validate(const IdSpace& space) const {
   if (max_lim < lim) {
     return Status::InvalidArgument("max_lim must be >= lim");
   }
+  if (frontier_max_entries < 0) {
+    return Status::InvalidArgument("frontier_max_entries must be >= 0");
+  }
   return Status::OK();
 }
 

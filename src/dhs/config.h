@@ -88,17 +88,26 @@ struct DhsConfig {
   /// kNoExpiry disables aging.
   uint64_t ttl_ticks = kNoExpiry;
 
-  /// Client-side frontier cache for sLL/HLL counting: remember the raw
-  /// observables of the last complete count per metric and start the
-  /// next high -> low scan at the cached max rho instead of MaxBit —
-  /// sound because soft-state decay and node failures can only *lower*
-  /// a bitmap's max rho, and the cache is invalidated on every insert
-  /// through this client. Off by default (it assumes all inserts for a
-  /// metric flow through the caching client, and it changes probe
-  /// costs, so golden traces keep it off). PCSA counts ignore it (the
+  /// Frontier cache for sLL/HLL counting (honoured by both DhsClient
+  /// and the sharded DhsFrontDoor): remember the raw observables of
+  /// the last complete count per metric and start the next high -> low
+  /// scan at the cached max rho instead of MaxBit — sound because
+  /// soft-state decay and node failures can only *lower* a bitmap's
+  /// max rho, and the cache is invalidated on every insert through the
+  /// caching endpoint. Inserts that bypass it (another client, a
+  /// maintainer on its own client, record migration) must be signalled
+  /// via InvalidateFrontier / DhsServing::InvalidateMetric or the next
+  /// count may undercount. Off by default (it changes probe costs, so
+  /// golden traces keep it off). PCSA counts ignore it (the
   /// leftmost-zero scan is low -> high). Hits/misses are exported as
   /// dhs_frontier_cache_{hits,misses}_total when metrics are attached.
   bool frontier_cache = false;
+
+  /// Upper bound on cached frontier entries (distinct metrics); when
+  /// full, caching a new metric evicts the lowest metric id first (a
+  /// deterministic rule, so twin worlds with equal configs stay
+  /// byte-identical). 0 = unbounded.
+  int frontier_max_entries = 0;
 
   /// Debug-audit mode: when set, the client runs the full invariant
   /// audit (DhtNetwork::CheckInvariants + DhsClient::AuditFull, both

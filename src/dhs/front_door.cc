@@ -53,26 +53,29 @@ StatusOr<DhsFrontDoor> DhsFrontDoor::Create(ShardedNetwork* engine,
   return DhsFrontDoor(engine, std::move(client.value()));
 }
 
-int DhsFrontDoor::LimForBit(int bit) const {
+int DhsFrontDoor::LimForBit(int bit, const DhsCountOptions& options) const {
   const DhsConfig& config = client_.config();
+  const int flat = options.lim_override > 0
+                       ? std::clamp(options.lim_override, 1, config.max_lim)
+                       : config.lim;
   if (!config.adaptive_lim || config.expected_cardinality == 0) {
-    return config.lim;
+    return flat;
   }
   auto interval = client_.mapping().IntervalForBit(bit);
-  if (!interval.ok()) return config.lim;
+  if (!interval.ok()) return flat;
   const double fraction =
       std::ldexp(static_cast<double>(interval->size),
                  -network()->space().bits());
   const double n_bins =
       fraction * static_cast<double>(network()->NumNodes());
-  if (n_bins < 2.0) return config.lim;
+  if (n_bins < 2.0) return flat;
   const double n_items = std::ldexp(
       static_cast<double>(config.expected_cardinality), -(bit + 1));
   const int required = RequiredProbesReplicated(
       static_cast<uint64_t>(n_bins), static_cast<uint64_t>(n_items),
       config.m, config.replication,
       /*p_miss=*/1.0 - config.adaptive_confidence);
-  return std::clamp(required, config.lim, config.max_lim);
+  return std::clamp(required, flat, config.max_lim);
 }
 
 void DhsFrontDoor::MaybeAudit() const {
@@ -101,6 +104,13 @@ const DhsFrontDoor::OpMetrics* DhsFrontDoor::MetricsFor(OpIndex op) {
       m.failed_probes =
           registry->GetCounter("dhs_op_failed_probes_total", labels);
     }
+    const MetricLabels cache_labels = {
+        {"geometry", network()->GeometryName()},
+        {"estimator", DhsEstimatorName(client_.config().estimator)}};
+    m_frontier_hits_ = registry->GetCounter(
+        "dhs_frontier_cache_hits_total", cache_labels);
+    m_frontier_misses_ = registry->GetCounter(
+        "dhs_frontier_cache_misses_total", cache_labels);
     metrics_cached_ = registry;
   }
   return &op_metrics_[op];
@@ -132,18 +142,14 @@ void DhsFrontDoor::FinishOp(ScopedSpan& span, OpIndex op,
   m->failed_probes->Increment(static_cast<uint64_t>(cost.failed_probes));
 }
 
-StatusOr<DhsCostReport> DhsFrontDoor::InsertBatch(
+StatusOr<CompiledInsertBatch> DhsFrontDoor::CompileInsertBatch(
     uint64_t origin_node, uint64_t metric_id,
     const std::vector<uint64_t>& item_hashes, Rng& rng) {
   if (!network()->Contains(origin_node)) {
     return Status::InvalidArgument("origin is not a live node");
   }
   const DhsConfig& config = client_.config();
-  ScopedSpan span(network()->tracer(), "insert_batch");
-  if (span.active()) {
-    span.Arg(TraceArg::U64("metric", metric_id));
-    span.Arg(TraceArg::U64("items", item_hashes.size()));
-  }
+  if (config.frontier_cache) frontier_.erase(metric_id);
 
   // §3.2 bulk insertion: one kPut per bit position carrying that
   // position's deduplicated vector updates.
@@ -154,15 +160,16 @@ StatusOr<DhsCostReport> DhsFrontDoor::InsertBatch(
     by_bit[placement.rho].insert(placement.vector_id);
   }
 
-  DhsCostReport cost;
-  Status first_failure = Status::OK();
-  std::vector<ShardOp> ops;
-  ops.reserve(by_bit.size());
+  CompiledInsertBatch compiled;
+  compiled.groups_total = by_bit.size();
+  compiled.ops.reserve(by_bit.size());
   for (const auto& [bit, vectors] : by_bit) {
     auto interval = client_.mapping().IntervalForBit(bit);
     if (!interval.ok()) {
-      cost.bit_groups_failed += 1;
-      if (first_failure.ok()) first_failure = interval.status();
+      compiled.cost.bit_groups_failed += 1;
+      if (compiled.first_failure.ok()) {
+        compiled.first_failure = interval.status();
+      }
       continue;
     }
     ShardOp op;
@@ -186,36 +193,69 @@ StatusOr<DhsCostReport> DhsFrontDoor::InsertBatch(
     put.expiry = config.ttl_ticks;
     put.keys = op.put_keys;
     op.frame = EncodePut(put);
-    ops.push_back(std::move(op));
-    cost.replicas_requested += config.replication;
+    compiled.ops.push_back(std::move(op));
+    compiled.cost.replicas_requested += config.replication;
   }
+  return compiled;
+}
 
-  size_t groups_attempted = ops.size();
-  if (groups_attempted > 0) {
-    auto outcomes = engine_->ExecuteBatch(ops);
-    if (!outcomes.ok()) return outcomes.status();
-    for (const ShardOpOutcome& outcome : *outcomes) {
-      AccumulateCost(outcome, &cost);
-      if (!outcome.status.ok()) {
-        // A failed primary write degrades this group only, as in the
-        // sequential InsertBatch.
-        cost.bit_groups_failed += 1;
-        if (first_failure.ok()) first_failure = outcome.status;
-      }
+Status DhsFrontDoor::FoldInsertOutcomes(const CompiledInsertBatch& compiled,
+                                        const ShardOpOutcome* outcomes,
+                                        size_t num_outcomes,
+                                        DhsCostReport* cost) {
+  CHECK_EQ(num_outcomes, compiled.ops.size())
+      << "outcome slice does not match the compiled batch";
+  *cost = compiled.cost;
+  Status first_failure = compiled.first_failure;
+  for (size_t i = 0; i < num_outcomes; ++i) {
+    AccumulateCost(outcomes[i], cost);
+    if (!outcomes[i].status.ok()) {
+      // A failed primary write degrades this group only, as in the
+      // sequential InsertBatch.
+      cost->bit_groups_failed += 1;
+      if (first_failure.ok()) first_failure = outcomes[i].status;
     }
   }
+  const bool all_failed = !first_failure.ok() &&
+      cost->bit_groups_failed == static_cast<int>(compiled.groups_total);
+  if (all_failed) return first_failure;  // nothing was stored
+  return Status::OK();
+}
+
+StatusOr<DhsCostReport> DhsFrontDoor::InsertBatch(
+    uint64_t origin_node, uint64_t metric_id,
+    const std::vector<uint64_t>& item_hashes, Rng& rng) {
+  if (!network()->Contains(origin_node)) {
+    return Status::InvalidArgument("origin is not a live node");
+  }
+  ScopedSpan span(network()->tracer(), "insert_batch");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("metric", metric_id));
+    span.Arg(TraceArg::U64("items", item_hashes.size()));
+  }
+  auto compiled = CompileInsertBatch(origin_node, metric_id, item_hashes, rng);
+  if (!compiled.ok()) return compiled.status();
+
+  std::vector<ShardOpOutcome> outcomes;
+  if (!compiled->ops.empty()) {
+    auto executed = engine_->ExecuteBatch(compiled->ops);
+    if (!executed.ok()) return executed.status();
+    outcomes = std::move(executed.value());
+  }
+  DhsCostReport cost;
+  const Status folded =
+      FoldInsertOutcomes(*compiled, outcomes.data(), outcomes.size(), &cost);
 
   MaybeAudit();
-  const bool all_failed = !first_failure.ok() &&
-      cost.bit_groups_failed == static_cast<int>(by_bit.size());
-  FinishOp(span, kOpInsertBatch, cost, !all_failed);
-  if (all_failed) return first_failure;  // nothing was stored
+  FinishOp(span, kOpInsertBatch, cost, folded.ok());
+  if (!folded.ok()) return folded;
   return cost;
 }
 
 ShardOp DhsFrontDoor::MakeProbeOp(uint64_t origin, int bit,
                                   const std::vector<uint64_t>& metric_ids,
                                   const IdInterval& interval,
+                                  const DhsCountOptions& options,
                                   Rng& rng) const {
   const DhsConfig& config = client_.config();
   ShardOp op;
@@ -224,7 +264,7 @@ ShardOp DhsFrontDoor::MakeProbeOp(uint64_t origin, int bit,
   op.key = client_.mapping().RandomIdIn(interval, rng);
   op.interval = interval;
   op.payload_bytes = config.ProbeRequestBytes();
-  op.lim = LimForBit(bit);
+  op.lim = LimForBit(bit, options);
   op.queries.reserve(metric_ids.size());
   for (uint64_t metric_id : metric_ids) {
     op.queries.emplace_back(metric_id, bit);
@@ -242,6 +282,12 @@ ShardOp DhsFrontDoor::MakeProbeOp(uint64_t origin, int bit,
 StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
     uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
     Rng& rng) {
+  return CountMany(origin_node, metric_ids, rng, DhsCountOptions{});
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+    const DhsCountOptions& options) {
   if (metric_ids.empty()) {
     return Status::InvalidArgument("no metrics given");
   }
@@ -255,16 +301,48 @@ StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
     span.Arg(TraceArg::U64("metrics", metric_ids.size()));
   }
 
+  const bool pcsa = config.estimator == DhsEstimator::kPcsa;
+
+  // Frontier cache (sLL/HLL): when every metric of the sweep has a
+  // cached raw observable set, bits above the cached max rho were
+  // empty at the last complete count — absent (invalidating) inserts,
+  // decay can only have emptied more — so the sweep starts at the
+  // frontier (the client's cache semantics on the sharded path).
+  int start_bit = mapping.MaxBit();
+  if (config.frontier_cache && !pcsa) {
+    MetricsFor(kOpCount);  // interns the hit/miss counters
+    bool hit = true;
+    int frontier = mapping.MinBit() - 1;
+    for (uint64_t metric_id : metric_ids) {
+      auto it = frontier_.find(metric_id);
+      if (it == frontier_.end()) {
+        hit = false;
+        break;
+      }
+      for (int v : it->second) frontier = std::max(frontier, v);
+    }
+    if (hit) {
+      start_bit = std::min(start_bit, frontier);
+      if (m_frontier_hits_ != nullptr) m_frontier_hits_->Increment();
+    } else {
+      if (m_frontier_misses_ != nullptr) m_frontier_misses_->Increment();
+    }
+  }
+
   // One kProbe per bit interval, issued as a single batch in scan
   // order (the sequential client scans sequentially and can stop
-  // early; the batch always sweeps the full range — the extra probes
-  // cannot change the observables, only the cost).
-  const bool pcsa = config.estimator == DhsEstimator::kPcsa;
+  // early; the batch always sweeps the full range below the start bit
+  // — the extra probes cannot change the observables, only the cost).
   std::vector<int> bits;
-  for (int r = mapping.MinBit(); r <= mapping.MaxBit(); ++r) {
-    bits.push_back(r);
+  if (pcsa) {
+    for (int r = mapping.MinBit(); r <= mapping.MaxBit(); ++r) {
+      bits.push_back(r);
+    }
+  } else {
+    for (int r = start_bit; r >= mapping.MinBit(); --r) {  // high -> low
+      bits.push_back(r);
+    }
   }
-  if (!pcsa) std::reverse(bits.begin(), bits.end());  // high -> low
 
   std::vector<ShardOp> ops;
   ops.reserve(bits.size());
@@ -274,7 +352,8 @@ StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
       FinishOp(span, kOpCount, DhsCostReport{}, /*ok=*/false);
       return interval.status();
     }
-    ops.push_back(MakeProbeOp(origin_node, r, metric_ids, *interval, rng));
+    ops.push_back(
+        MakeProbeOp(origin_node, r, metric_ids, *interval, options, rng));
   }
 
   auto outcomes = engine_->ExecuteBatch(ops);
@@ -322,6 +401,16 @@ StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
             }
           }
         }
+      }
+    }
+    // Cache raw observables (before the bit-shift backfill mutates
+    // them) — only from a fully resolved count: an abandoned interval
+    // OR a skipped probe candidate (failed_probes) could have hidden a
+    // higher rho, and caching it would pin future scans low.
+    if (config.frontier_cache && !result.gave_up &&
+        result.cost.failed_probes == 0) {
+      for (size_t mi = 0; mi < num_metrics; ++mi) {
+        StoreFrontier(metric_ids[mi], result.observables[mi]);
       }
     }
     result.estimates.reserve(num_metrics);
@@ -396,6 +485,21 @@ StatusOr<DhsClient::MultiCountResult> DhsFrontDoor::CountMany(
   }
   FinishOp(span, kOpCount, result.cost, /*ok=*/true);
   return result;
+}
+
+void DhsFrontDoor::StoreFrontier(uint64_t metric_id,
+                                 const std::vector<int>& observables) {
+  auto it = frontier_.find(metric_id);
+  if (it != frontier_.end()) {
+    it->second = observables;
+    return;
+  }
+  if (client_.config().frontier_max_entries > 0 &&
+      frontier_.size() >=
+          static_cast<size_t>(client_.config().frontier_max_entries)) {
+    frontier_.erase(frontier_.begin());
+  }
+  frontier_.emplace(metric_id, observables);
 }
 
 StatusOr<DhsCountResult> DhsFrontDoor::Count(uint64_t origin_node,

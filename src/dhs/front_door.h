@@ -25,6 +25,7 @@
 #define DHS_DHS_FRONT_DOOR_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/random.h"
@@ -34,6 +35,24 @@
 #include "dhs/config.h"
 
 namespace dhs {
+
+/// One compiled bulk insertion: the §3.2 bit-group kPut ops of a
+/// single InsertBatch call, ready for engine execution. Built by
+/// DhsFrontDoor::CompileInsertBatch and executed either by the front
+/// door itself (InsertBatch) or merged with other compiled batches
+/// into one engine wave by the serving layer; FoldInsertOutcomes maps
+/// the engine outcomes (parallel to `ops`) back to the per-batch
+/// DhsCostReport. Because kPut ops never read stores, engine fault
+/// ordinals accumulate across batches and the virtual clock is frozen
+/// inside a batch, a merged execution is byte-identical to executing
+/// the batches back to back (pinned by tests/dhs/serving_test.cc).
+struct CompiledInsertBatch {
+  std::vector<ShardOp> ops;   // one kPut per bit group that compiled
+  size_t groups_total = 0;    // bit groups in the batch (ops + pre-failed)
+  DhsCostReport cost;         // pre-execution accounting (replicas
+                              // requested, compile-stage failures)
+  Status first_failure;       // first compile-stage failure, if any
+};
 
 class DhsFrontDoor {
  public:
@@ -56,31 +75,70 @@ class DhsFrontDoor {
       uint64_t origin_node, uint64_t metric_id,
       const std::vector<uint64_t>& item_hashes, Rng& rng);
 
+  /// Compiles one InsertBatch into its kPut ops without executing them
+  /// (the serving layer's pipelined hand-off: several compiled batches
+  /// merge into one ExecuteBatch). Draws the same RNG sequence as
+  /// InsertBatch and invalidates the metric's cached frontier.
+  [[nodiscard]] StatusOr<CompiledInsertBatch> CompileInsertBatch(
+      uint64_t origin_node, uint64_t metric_id,
+      const std::vector<uint64_t>& item_hashes, Rng& rng);
+
+  /// Folds the engine outcomes of `compiled.ops` (same order, same
+  /// length) into the batch's final report, applying the client's
+  /// degradation contract: a failed group degrades (bit_groups_failed),
+  /// and the first failure is returned only when every group failed —
+  /// `*cost` is filled either way (failed batches still did work).
+  [[nodiscard]] Status FoldInsertOutcomes(const CompiledInsertBatch& compiled,
+                                          const ShardOpOutcome* outcomes,
+                                          size_t num_outcomes,
+                                          DhsCostReport* cost);
+
   /// Multi-metric count (§4.2): issues one kProbe per bit interval —
   /// all intervals in a single engine batch — and reconstructs the
   /// observables from the probe results in scan order (high -> low for
   /// sLL/HLL, low -> high for PCSA), with the same first-hit /
   /// leftmost-zero and degradation rules as the sequential client.
+  /// With config.frontier_cache set, sLL/HLL sweeps start at the
+  /// metric-set's cached frontier (the client's cache semantics,
+  /// extended to the sharded path).
   [[nodiscard]] StatusOr<DhsClient::MultiCountResult> CountMany(
       uint64_t origin_node, const std::vector<uint64_t>& metric_ids,
       Rng& rng);
+  [[nodiscard]] StatusOr<DhsClient::MultiCountResult> CountMany(
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng,
+      const DhsCountOptions& options);
 
   /// Single-metric convenience wrapper over CountMany.
   [[nodiscard]] StatusOr<DhsCountResult> Count(uint64_t origin_node,
                                                uint64_t metric_id, Rng& rng);
 
+  /// Frontier-cache invalidation and introspection, mirroring
+  /// DhsClient (see client.h InvalidateFrontier on when signalling is
+  /// required).
+  void InvalidateFrontier(uint64_t metric_id) { frontier_.erase(metric_id); }
+  void InvalidateAllFrontiers() { frontier_.clear(); }
+  size_t FrontierEntries() const { return frontier_.size(); }
+  bool HasFrontier(uint64_t metric_id) const {
+    return frontier_.count(metric_id) > 0;
+  }
+
  private:
   DhsFrontDoor(ShardedNetwork* engine, DhsClient client)
       : engine_(engine), client_(std::move(client)) {}
 
-  /// Probe budget for bit r (the client's LimForBit: flat lim, or the
-  /// eq. 6 adaptive value).
-  int LimForBit(int bit) const;
+  /// Probe budget for bit r (the client's LimForBit: flat lim or the
+  /// options override, or the eq. 6 adaptive value).
+  int LimForBit(int bit, const DhsCountOptions& options) const;
 
   /// Builds the kProbe op for bit r (shared by both scan directions).
   ShardOp MakeProbeOp(uint64_t origin, int bit,
                       const std::vector<uint64_t>& metric_ids,
-                      const IdInterval& interval, Rng& rng) const;
+                      const IdInterval& interval,
+                      const DhsCountOptions& options, Rng& rng) const;
+
+  /// Caches `observables` as `metric_id`'s frontier under the
+  /// config frontier_max_entries bound (the client's eviction rule).
+  void StoreFrontier(uint64_t metric_id, const std::vector<int>& observables);
 
   void MaybeAudit() const;
 
@@ -103,6 +161,15 @@ class DhsFrontDoor {
   DhsClient client_;
   MetricsRegistry* metrics_cached_ = nullptr;
   OpMetrics op_metrics_[kNumOps];
+
+  /// Frontier cache (config.frontier_cache, sLL/HLL only): the
+  /// client's cache semantics on the sharded path — raw observables of
+  /// the last complete count per metric, invalidated by every
+  /// InsertBatch/CompileInsertBatch through this front door, never
+  /// written by a degraded count.
+  std::map<uint64_t, std::vector<int>> frontier_;
+  Counter* m_frontier_hits_ = nullptr;    // interned with op metrics
+  Counter* m_frontier_misses_ = nullptr;
 };
 
 }  // namespace dhs

@@ -1,0 +1,429 @@
+#include "dhs/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "dhs/lim.h"
+#include "obs/trace.h"
+
+namespace dhs {
+
+Status DhsServingConfig::Validate() const {
+  if (tuner_gain <= 0.0 || tuner_gain > 1.0) {
+    return Status::InvalidArgument("tuner_gain must be in (0, 1]");
+  }
+  if (tuner_floor < 1) {
+    return Status::InvalidArgument("tuner_floor must be >= 1");
+  }
+  if (tuner_ceiling != 0 && tuner_ceiling < tuner_floor) {
+    return Status::InvalidArgument("tuner_ceiling must be 0 or >= tuner_floor");
+  }
+  if (tuner_p_miss < 0.0 || tuner_p_miss >= 1.0) {
+    return Status::InvalidArgument("tuner_p_miss must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+LimTuner::LimTuner(int initial, int floor, int ceiling, double gain)
+    : lim_(std::clamp(initial, floor, ceiling)),
+      floor_(floor),
+      ceiling_(ceiling),
+      gain_(gain) {
+  CHECK(floor >= 1 && ceiling >= floor) << "invalid tuner clamp range";
+  CHECK(gain > 0.0 && gain <= 1.0) << "invalid tuner gain";
+}
+
+void LimTuner::Observe(int target, bool degraded) {
+  target_ = std::clamp(target, floor_, ceiling_);
+  ++observations_;
+  // A degraded wave says the prediction was optimistic for the live
+  // world (faults, churn): aim one band above it so the next waves
+  // have slack to complete.
+  const int goal =
+      degraded ? std::min(target_ + band(), ceiling_) : target_;
+  const int gap = goal - lim_;
+  if (gap == 0) return;
+  // Damped step: close `gain` of the gap, always at least one probe of
+  // progress, never past the goal (gain <= 1 implies step <= |gap|).
+  const int step = std::max(
+      1,
+      static_cast<int>(std::ceil(gain_ * static_cast<double>(std::abs(gap)))));
+  lim_ = std::clamp(lim_ + (gap > 0 ? step : -step), floor_, ceiling_);
+}
+
+StatusOr<DhsServing> DhsServing::Create(DhsFrontDoor* front_door,
+                                        const DhsServingConfig& config) {
+  if (front_door == nullptr) {
+    return Status::InvalidArgument("front door must not be null");
+  }
+  Status s = config.Validate();
+  if (!s.ok()) return s;
+  return DhsServing(front_door, nullptr, config);
+}
+
+StatusOr<DhsServing> DhsServing::Create(DhsClient* client,
+                                        const DhsServingConfig& config) {
+  if (client == nullptr) {
+    return Status::InvalidArgument("client must not be null");
+  }
+  Status s = config.Validate();
+  if (!s.ok()) return s;
+  return DhsServing(nullptr, client, config);
+}
+
+DhsServing::DhsServing(DhsFrontDoor* door, DhsClient* client,
+                       const DhsServingConfig& config)
+    : door_(door),
+      client_(client),
+      config_(config),
+      tune_lim_(config.tune_lim),
+      tuner_(/*initial=*/(door != nullptr ? door->config() : client->config())
+                 .lim,
+             config.tuner_floor,
+             /*ceiling=*/config.tuner_ceiling > 0
+                 ? std::max(config.tuner_ceiling, config.tuner_floor)
+                 : std::max((door != nullptr ? door->config()
+                                             : client->config())
+                                .max_lim,
+                            config.tuner_floor),
+             config.tuner_gain) {}
+
+void DhsServing::MaybeAttachMetrics() {
+  MetricsRegistry* registry = network()->metrics();
+  if (registry == metrics_attached_) return;
+  metrics_.Attach(registry, network()->GeometryName(),
+                  DhsEstimatorName(config().estimator));
+  metrics_attached_ = registry;
+}
+
+uint64_t DhsServing::SubmitCount(uint64_t origin_node,
+                                 std::vector<uint64_t> metric_ids) {
+  const uint64_t ticket = next_ticket_++;
+  pending_counts_.push_back(
+      PendingCount{ticket, origin_node, std::move(metric_ids)});
+  ++stats_.count_requests;
+  MaybeAttachMetrics();
+  metrics_.RecordCountRequests(1);
+  return ticket;
+}
+
+uint64_t DhsServing::SubmitInsertBatch(uint64_t origin_node,
+                                       uint64_t metric_id,
+                                       std::vector<uint64_t> item_hashes) {
+  const uint64_t ticket = next_ticket_++;
+  pending_inserts_.push_back(
+      PendingInsert{ticket, origin_node, metric_id, std::move(item_hashes)});
+  ++stats_.insert_requests;
+  MaybeAttachMetrics();
+  metrics_.RecordInsertRequests(1);
+  return ticket;
+}
+
+Status DhsServing::Flush(Rng& rng) {
+  if (pending_counts_.empty() && pending_inserts_.empty()) {
+    return Status::OK();
+  }
+  MaybeAttachMetrics();
+  ++stats_.flushes;
+  ScopedSpan span(network()->tracer(), "serving_flush");
+  if (span.active()) {
+    span.Arg(TraceArg::U64("pending_inserts", pending_inserts_.size()));
+    span.Arg(TraceArg::U64("pending_counts", pending_counts_.size()));
+  }
+  // Inserts before counts: a flush's counts observe its inserts, the
+  // same order a caller issuing the requests back to back would get.
+  const Status insert_status = FlushInserts(rng);
+  FlushCounts(rng);
+  pending_inserts_.clear();
+  pending_counts_.clear();
+  return insert_status;
+}
+
+Status DhsServing::FlushInserts(Rng& rng) {
+  if (pending_inserts_.empty()) return Status::OK();
+  const bool pipelined = config_.pipeline_inserts && door_ != nullptr &&
+                         pending_inserts_.size() > 1;
+
+  // Every insert batch lands in the wave log as its own entry: the
+  // replay path executes them back to back, which is byte-identical to
+  // the merged execution (front_door.h CompiledInsertBatch).
+  for (const PendingInsert& p : pending_inserts_) {
+    ServingWave wave;
+    wave.kind = ServingWave::kInsertWave;
+    wave.origin = p.origin;
+    wave.metric_id = p.metric_id;
+    wave.hashes = p.hashes;
+    wave_log_.push_back(std::move(wave));
+    metrics_.RecordInsertInvalidation();
+  }
+
+  if (!pipelined) {
+    for (const PendingInsert& p : pending_inserts_) {
+      auto result =
+          door_ != nullptr
+              ? door_->InsertBatch(p.origin, p.metric_id, p.hashes, rng)
+              : client_->InsertBatch(p.origin, p.metric_id, p.hashes, rng);
+      ++stats_.insert_waves;
+      metrics_.RecordInsertWave();
+      insert_results_.emplace(p.ticket, std::move(result));
+    }
+    return Status::OK();
+  }
+
+  // Pipelined hand-off: compile every batch up front (same RNG draws,
+  // same order as sequential execution), run ONE engine batch over the
+  // merged kPut ops, then fold each batch's slice of outcomes back
+  // into its own report.
+  struct Compiled {
+    size_t pending_index;
+    CompiledInsertBatch batch;
+    size_t op_offset = 0;
+  };
+  std::vector<Compiled> compiled;
+  compiled.reserve(pending_inserts_.size());
+  std::vector<ShardOp> merged;
+  for (size_t i = 0; i < pending_inserts_.size(); ++i) {
+    const PendingInsert& p = pending_inserts_[i];
+    auto c = door_->CompileInsertBatch(p.origin, p.metric_id, p.hashes, rng);
+    if (!c.ok()) {
+      insert_results_.emplace(p.ticket, c.status());
+      continue;
+    }
+    Compiled entry{i, std::move(c.value()), merged.size()};
+    merged.insert(merged.end(), entry.batch.ops.begin(),
+                  entry.batch.ops.end());
+    compiled.push_back(std::move(entry));
+  }
+
+  std::vector<ShardOpOutcome> outcomes;
+  if (!merged.empty()) {
+    auto executed = door_->engine()->ExecuteBatch(merged);
+    if (!executed.ok()) {
+      // Engine-level failure (not a per-op fault): every batch of the
+      // wave fails the same way.
+      for (const Compiled& c : compiled) {
+        insert_results_.emplace(pending_inserts_[c.pending_index].ticket,
+                                executed.status());
+      }
+      return executed.status();
+    }
+    outcomes = std::move(executed.value());
+  }
+  ++stats_.insert_waves;
+  metrics_.RecordInsertWave();
+
+  for (const Compiled& c : compiled) {
+    const PendingInsert& p = pending_inserts_[c.pending_index];
+    DhsCostReport cost;
+    const Status folded = door_->FoldInsertOutcomes(
+        c.batch, outcomes.data() + c.op_offset, c.batch.ops.size(), &cost);
+    if (!folded.ok()) {
+      insert_results_.emplace(p.ticket, folded);
+    } else {
+      insert_results_.emplace(p.ticket, cost);
+    }
+  }
+  return Status::OK();
+}
+
+void DhsServing::FlushCounts(Rng& rng) {
+  if (pending_counts_.empty()) return;
+  if (!config_.coalesce_counts) {
+    for (size_t i = 0; i < pending_counts_.size(); ++i) {
+      RunCountWave({i}, rng);
+    }
+    return;
+  }
+  // Coalesce by exact metric set, first-seen order. Distinct sets are
+  // NOT merged into one sweep: overlapping sets interact through the
+  // frontier cache, and sequential replay must see the same waves.
+  std::map<std::vector<uint64_t>, size_t> group_of;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < pending_counts_.size(); ++i) {
+    auto [it, inserted] =
+        group_of.emplace(pending_counts_[i].metric_ids, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  for (const std::vector<size_t>& group : groups) {
+    RunCountWave(group, rng);
+  }
+}
+
+void DhsServing::RunCountWave(const std::vector<size_t>& group, Rng& rng) {
+  const PendingCount& head = pending_counts_[group.front()];
+  DhsCountOptions options;
+  options.lim_override = lim_override();
+
+  ServingWave wave;
+  wave.kind = ServingWave::kCountWave;
+  wave.origin = head.origin;
+  wave.metric_ids = head.metric_ids;
+  wave.lim_override = options.lim_override;
+  wave.waiters = group.size();
+  wave_log_.push_back(std::move(wave));
+
+  auto result = BackendCount(head.origin, head.metric_ids, rng, options);
+  ++stats_.count_waves;
+  stats_.coalesced += group.size() - 1;
+  metrics_.RecordCountWave();
+  metrics_.RecordCoalesced(group.size() - 1);
+
+  if (result.ok()) {
+    ObserveCountWave(head, result.value());
+  }
+  // Fan the one wave result out to every waiter (copies for all but
+  // the last, which takes the original).
+  for (size_t i = 0; i + 1 < group.size(); ++i) {
+    if (result.ok()) {
+      count_results_.emplace(pending_counts_[group[i]].ticket,
+                             result.value());
+    } else {
+      count_results_.emplace(pending_counts_[group[i]].ticket,
+                             result.status());
+    }
+  }
+  count_results_.emplace(pending_counts_[group.back()].ticket,
+                         std::move(result));
+}
+
+void DhsServing::ObserveCountWave(const PendingCount& head,
+                                  const DhsClient::MultiCountResult& result) {
+  const bool degraded = result.gave_up || result.cost.failed_probes > 0;
+  if (degraded) ++stats_.degraded_waves;
+
+  if (degraded && config_.invalidate_on_fault && config().frontier_cache) {
+    // The wave's degradation is evidence of faults or churn under the
+    // cache; drop the served metrics' frontiers so the next count
+    // re-establishes them from a full sweep. Logged so replay mirrors
+    // the cache state transition.
+    for (uint64_t metric_id : head.metric_ids) {
+      BackendInvalidate(metric_id);
+      ++stats_.invalidations;
+      ServingWave wave;
+      wave.kind = ServingWave::kInvalidate;
+      wave.metric_id = metric_id;
+      wave.waiters = 0;
+      wave_log_.push_back(std::move(wave));
+    }
+    metrics_.RecordFaultInvalidation(head.metric_ids.size());
+  }
+
+  if (!tune_lim_) return;
+  // Feed the tuner the eq. 5/6 prediction for the cardinality this
+  // wave actually observed (max over the served metrics: lim must
+  // cover the busiest one).
+  double max_estimate = 0.0;
+  for (double e : result.estimates) max_estimate = std::max(max_estimate, e);
+  const uint64_t cardinality =
+      max_estimate > 0.0 ? static_cast<uint64_t>(std::llround(max_estimate))
+                         : 0;
+  const DhsConfig& backend = config();
+  const BitMapping& mapping =
+      door_ != nullptr ? door_->mapping() : client_->mapping();
+  const double p_miss = config_.tuner_p_miss > 0.0
+                            ? config_.tuner_p_miss
+                            : 1.0 - backend.adaptive_confidence;
+  const int target = FlatLimTarget(
+      static_cast<uint64_t>(network()->NumNodes()), cardinality,
+      mapping.MinBit(), mapping.MaxBit(), backend.m, backend.replication,
+      p_miss, config_.tuner_floor,
+      config_.tuner_ceiling > 0
+          ? std::max(config_.tuner_ceiling, config_.tuner_floor)
+          : std::max(backend.max_lim, config_.tuner_floor));
+  tuner_.Observe(target, degraded);
+  metrics_.RecordLim(tuner_.lim());
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsServing::BackendCount(
+    uint64_t origin, const std::vector<uint64_t>& metric_ids, Rng& rng,
+    const DhsCountOptions& options) {
+  return door_ != nullptr
+             ? door_->CountMany(origin, metric_ids, rng, options)
+             : client_->CountMany(origin, metric_ids, rng, options);
+}
+
+void DhsServing::BackendInvalidate(uint64_t metric_id) {
+  if (door_ != nullptr) {
+    door_->InvalidateFrontier(metric_id);
+  } else {
+    client_->InvalidateFrontier(metric_id);
+  }
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsServing::TakeCount(uint64_t ticket) {
+  auto it = count_results_.find(ticket);
+  if (it == count_results_.end()) {
+    return Status::InvalidArgument("unknown or unflushed count ticket");
+  }
+  StatusOr<DhsClient::MultiCountResult> result = std::move(it->second);
+  count_results_.erase(it);
+  return result;
+}
+
+StatusOr<DhsCostReport> DhsServing::TakeInsert(uint64_t ticket) {
+  auto it = insert_results_.find(ticket);
+  if (it == insert_results_.end()) {
+    return Status::InvalidArgument("unknown or unflushed insert ticket");
+  }
+  StatusOr<DhsCostReport> result = std::move(it->second);
+  insert_results_.erase(it);
+  return result;
+}
+
+StatusOr<DhsCountResult> DhsServing::Count(uint64_t origin_node,
+                                           uint64_t metric_id, Rng& rng) {
+  auto many = CountMany(origin_node, {metric_id}, rng);
+  if (!many.ok()) return many.status();
+  DhsCountResult result;
+  result.estimate = many->estimates[0];
+  result.observables = std::move(many->observables[0]);
+  result.gave_up = many->gave_up;
+  result.bitmaps_unresolved = many->bitmaps_unresolved;
+  result.cost = many->cost;
+  return result;
+}
+
+StatusOr<DhsClient::MultiCountResult> DhsServing::CountMany(
+    uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng) {
+  const uint64_t ticket = SubmitCount(origin_node, metric_ids);
+  Status s = Flush(rng);
+  (void)s;  // the per-ticket result carries any failure
+  return TakeCount(ticket);
+}
+
+StatusOr<DhsCostReport> DhsServing::InsertBatch(
+    uint64_t origin_node, uint64_t metric_id,
+    const std::vector<uint64_t>& item_hashes, Rng& rng) {
+  const uint64_t ticket = SubmitInsertBatch(origin_node, metric_id,
+                                            item_hashes);
+  Status s = Flush(rng);
+  (void)s;
+  return TakeInsert(ticket);
+}
+
+void DhsServing::InvalidateMetric(uint64_t metric_id) {
+  MaybeAttachMetrics();
+  BackendInvalidate(metric_id);
+  ++stats_.invalidations;
+  ServingWave wave;
+  wave.kind = ServingWave::kInvalidate;
+  wave.metric_id = metric_id;
+  wave.waiters = 0;
+  wave_log_.push_back(std::move(wave));
+  metrics_.RecordSignalInvalidation();
+}
+
+void DhsServing::InvalidateAll() {
+  // Ops/test helper; NOT wave-logged (the replay contract covers
+  // metric-granular invalidation only).
+  if (door_ != nullptr) {
+    door_->InvalidateAllFrontiers();
+  } else {
+    client_->InvalidateAllFrontiers();
+  }
+}
+
+}  // namespace dhs

@@ -1,0 +1,252 @@
+// High-throughput DHS serving layer: the front-end that turns many
+// client requests into few engine waves.
+//
+// Callers submit Count / InsertBatch requests as tickets; Flush
+// executes everything pending in one deterministic pass and fans
+// results back out:
+//
+//   * Coalescing — concurrent counts of the same metric set become ONE
+//     probe wave whose result answers every waiter (hot metrics under
+//     a Zipf-skewed tenant mix are counted once per flush, not once
+//     per request).
+//   * Pipelining — pending insert batches compile to their §3.2 kPut
+//     groups up front and execute as a single engine batch instead of
+//     one interval at a time (sound because kPut ops never read
+//     stores, fault ordinals accumulate across batches, and the
+//     virtual clock is frozen inside a batch — see front_door.h
+//     CompiledInsertBatch).
+//   * Frontier cache — the backend's memoized flat-bit frontier
+//     (client.h) answers repeat counts from the cached start bit; the
+//     serving layer closes the invalidation loop, invalidating on
+//     inserts (backend-side), on degraded count waves
+//     (invalidate_on_fault) and on external signals
+//     (InvalidateMetric, e.g. a maintainer migration).
+//   * Adaptive lim — an online tuner (LimTuner) nudges the count probe
+//     budget toward the eq. 5/6 prediction (lim.h FlatLimTarget) from
+//     observed wave outcomes, passed to the backend as
+//     DhsCountOptions::lim_override.
+//
+// Headline guarantee: served answers are byte-identical to the
+// unoptimized path under fixed seeds. Every wave is appended to a
+// replayable log (wave_log); replaying the log through a plain
+// DhsClient / DhsFrontDoor with an identically seeded RNG reproduces
+// every estimate, observable and DhsCostReport bit for bit (pinned by
+// tests/dhs/serving_test.cc and the audit_sim --serving differential
+// leg).
+
+#ifndef DHS_DHS_SERVING_H_
+#define DHS_DHS_SERVING_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dhs/client.h"
+#include "dhs/config.h"
+#include "dhs/front_door.h"
+#include "obs/serving_metrics.h"
+
+namespace dhs {
+
+struct DhsServingConfig {
+  /// Merge pending counts of the same metric set into one wave.
+  bool coalesce_counts = true;
+  /// Merge pending insert batches into one engine batch (front-door
+  /// backends only; the sequential client has no batch hand-off).
+  bool pipeline_inserts = true;
+  /// Invalidate the cached frontier of every metric served by a
+  /// degraded count wave (gave_up or failed probes): the degradation
+  /// is evidence the world changed under the cache.
+  bool invalidate_on_fault = true;
+
+  /// Enable the online lim tuner. Off by default: with the tuner off
+  /// the serving layer never overrides the backend's configured lim.
+  bool tune_lim = false;
+  /// Fraction of the gap to the eq. 5/6 target closed per observation
+  /// (damped so a noisy single wave cannot whipsaw the budget).
+  double tuner_gain = 0.5;
+  /// Clamp range for the tuned lim; ceiling 0 means the backend's
+  /// max_lim.
+  int tuner_floor = 1;
+  int tuner_ceiling = 0;
+  /// Residual miss probability fed to the eq. 5/6 calculator; 0 means
+  /// 1 - backend adaptive_confidence.
+  double tuner_p_miss = 0.0;
+
+  Status Validate() const;
+};
+
+/// Online probe-budget tuner: one damped step per observed count wave
+/// toward the eq. 5/6 required-probes target, with degraded waves
+/// pushing the goal one band above the target (the wave's outcome says
+/// the prediction was optimistic). Deterministic: the trajectory is a
+/// pure function of the observation sequence.
+class LimTuner {
+ public:
+  LimTuner(int initial, int floor, int ceiling, double gain);
+
+  /// Feeds one count-wave outcome: `target` is the eq. 5/6 prediction
+  /// for the wave's observed cardinality, `degraded` whether the wave
+  /// gave up or skipped probe candidates.
+  void Observe(int target, bool degraded);
+
+  int lim() const { return lim_; }
+  int target() const { return target_; }
+  /// Convergence tolerance: one "retry band" around the target.
+  int band() const { return target_ > 0 ? (target_ + 3) / 4 : 1; }
+  bool Converged() const {
+    return observations_ > 0 && std::abs(lim_ - target_) <= band();
+  }
+  int observations() const { return observations_; }
+
+ private:
+  int lim_;
+  int floor_;
+  int ceiling_;
+  double gain_;
+  int target_ = 0;
+  int observations_ = 0;
+};
+
+/// One executed serving decision, in execution order. Replaying the
+/// log against a plain backend (same world, same seed) reproduces the
+/// serving layer's answers byte for byte:
+///   kInsertWave  -> InsertBatch(origin, metric_id, hashes)
+///   kCountWave   -> CountMany(origin, metric_ids, {lim_override})
+///   kInvalidate  -> InvalidateFrontier(metric_id)
+struct ServingWave {
+  enum Kind { kInsertWave, kCountWave, kInvalidate };
+  Kind kind = kCountWave;
+  uint64_t origin = 0;
+  uint64_t metric_id = 0;             // kInsertWave / kInvalidate
+  std::vector<uint64_t> metric_ids;   // kCountWave
+  std::vector<uint64_t> hashes;       // kInsertWave
+  int lim_override = 0;               // kCountWave (0 = backend lim)
+  size_t waiters = 1;                 // requests answered by this wave
+};
+
+struct ServingStats {
+  uint64_t count_requests = 0;
+  uint64_t count_waves = 0;      // backend CountMany calls issued
+  uint64_t coalesced = 0;        // count requests served by another's wave
+  uint64_t insert_requests = 0;
+  uint64_t insert_waves = 0;     // engine insert batches issued
+  uint64_t degraded_waves = 0;   // count waves that gave up / skipped probes
+  uint64_t invalidations = 0;    // frontier entries dropped by this layer
+  uint64_t flushes = 0;
+};
+
+class DhsServing {
+ public:
+  /// The backend (and its network) must outlive the serving layer.
+  /// Exactly one backend: the sharded front door (full pipelining) or
+  /// the sequential client (pipeline_inserts degrades to sequential
+  /// execution — the client has no batch hand-off).
+  static StatusOr<DhsServing> Create(DhsFrontDoor* front_door,
+                                     const DhsServingConfig& config);
+  static StatusOr<DhsServing> Create(DhsClient* client,
+                                     const DhsServingConfig& config);
+
+  /// Ticket interface: Submit* enqueues, Flush executes everything
+  /// pending (inserts first, then counts), Take* claims a result once
+  /// (a ticket is claimable after the flush that executed it).
+  uint64_t SubmitCount(uint64_t origin_node, std::vector<uint64_t> metric_ids);
+  uint64_t SubmitInsertBatch(uint64_t origin_node, uint64_t metric_id,
+                             std::vector<uint64_t> item_hashes);
+  [[nodiscard]] Status Flush(Rng& rng);
+  [[nodiscard]] StatusOr<DhsClient::MultiCountResult> TakeCount(
+      uint64_t ticket);
+  [[nodiscard]] StatusOr<DhsCostReport> TakeInsert(uint64_t ticket);
+
+  /// Synchronous conveniences: submit + flush + take in one call.
+  [[nodiscard]] StatusOr<DhsCountResult> Count(uint64_t origin_node,
+                                               uint64_t metric_id, Rng& rng);
+  [[nodiscard]] StatusOr<DhsClient::MultiCountResult> CountMany(
+      uint64_t origin_node, const std::vector<uint64_t>& metric_ids, Rng& rng);
+  [[nodiscard]] StatusOr<DhsCostReport> InsertBatch(
+      uint64_t origin_node, uint64_t metric_id,
+      const std::vector<uint64_t>& item_hashes, Rng& rng);
+
+  /// External invalidation signal (client.h InvalidateFrontier): call
+  /// when state changed behind the serving layer's back — an insert
+  /// through another client, a maintainer republish after migration.
+  void InvalidateMetric(uint64_t metric_id);
+  void InvalidateAll();
+
+  const DhsConfig& config() const {
+    return door_ != nullptr ? door_->config() : client_->config();
+  }
+  const DhsServingConfig& serving_config() const { return config_; }
+  DhtNetwork* network() const {
+    return door_ != nullptr ? door_->network() : client_->network();
+  }
+  const ServingStats& stats() const { return stats_; }
+
+  /// The replayable wave log (cleared by the caller between phases so
+  /// it does not grow without bound in soaks).
+  const std::vector<ServingWave>& wave_log() const { return wave_log_; }
+  void ClearWaveLog() { wave_log_.clear(); }
+
+  /// Null unless tune_lim is on.
+  const LimTuner* tuner() const { return tune_lim_ ? &tuner_ : nullptr; }
+  /// The lim_override the next count wave will carry (0 = none).
+  int lim_override() const { return tune_lim_ ? tuner_.lim() : 0; }
+
+  size_t PendingCounts() const { return pending_counts_.size(); }
+  size_t PendingInserts() const { return pending_inserts_.size(); }
+
+ private:
+  DhsServing(DhsFrontDoor* door, DhsClient* client,
+             const DhsServingConfig& config);
+
+  struct PendingCount {
+    uint64_t ticket;
+    uint64_t origin;
+    std::vector<uint64_t> metric_ids;
+  };
+  struct PendingInsert {
+    uint64_t ticket;
+    uint64_t origin;
+    uint64_t metric_id;
+    std::vector<uint64_t> hashes;
+  };
+
+  [[nodiscard]] Status FlushInserts(Rng& rng);
+  void FlushCounts(Rng& rng);
+  /// Executes one coalesced count wave and fans the result out to
+  /// `group` (ticket indices into pending_counts_).
+  void RunCountWave(const std::vector<size_t>& group, Rng& rng);
+  /// Tuner + invalidate-on-fault bookkeeping after a completed wave.
+  void ObserveCountWave(const PendingCount& head,
+                        const DhsClient::MultiCountResult& result);
+
+  [[nodiscard]] StatusOr<DhsClient::MultiCountResult> BackendCount(
+      uint64_t origin, const std::vector<uint64_t>& metric_ids, Rng& rng,
+      const DhsCountOptions& options);
+  void BackendInvalidate(uint64_t metric_id);
+
+  DhsFrontDoor* door_;   // exactly one of door_ / client_ is set
+  DhsClient* client_;
+  DhsServingConfig config_;
+  bool tune_lim_;
+  LimTuner tuner_;
+  ServingMetrics metrics_;
+  MetricsRegistry* metrics_attached_ = nullptr;
+  void MaybeAttachMetrics();
+
+  uint64_t next_ticket_ = 1;
+  std::vector<PendingCount> pending_counts_;
+  std::vector<PendingInsert> pending_inserts_;
+  std::map<uint64_t, StatusOr<DhsClient::MultiCountResult>> count_results_;
+  std::map<uint64_t, StatusOr<DhsCostReport>> insert_results_;
+
+  ServingStats stats_;
+  std::vector<ServingWave> wave_log_;
+};
+
+}  // namespace dhs
+
+#endif  // DHS_DHS_SERVING_H_

@@ -78,10 +78,24 @@
 // schedules instead of whichever one the OS produced. Composes with
 // --drop/--timeout (not --crash).
 //
+// Serving mode (--serving): the differential leg for the serving layer
+// (dhs/serving.h). Two identically seeded worlds run the same
+// randomized schedule of insert/count submissions, flushes, clock
+// ticks, churn and fault segments; one serves through DhsServing
+// (coalescing + frontier cache + online lim tuner), the other replays
+// the serving layer's wave log through a plain DhsClient with an
+// identically seeded RNG. Every waiter's estimates, observables,
+// gave_up, bitmaps_unresolved and full DhsCostReport must match the
+// replayed wave bit for bit, message/hop/byte stats must stay in
+// lockstep at every flush, and the final world digests must be
+// byte-identical. Incompatible with --crash (membership loss is
+// mirrored by schedule, not by fault replay).
+//
 // Usage: audit_sim [--geometry=chord|kademlia|both] [--steps=10000]
 //                  [--seed=1] [--estimator=sll|pcsa|hll]
 //                  [--shards=1] [--schedules=1] [--jobs=0 (hardware)]
 //                  [--interleave=N] [--interleave-mode=pct|exhaustive]
+//                  [--serving]
 //                  [--drop=P] [--timeout=P] [--crash=P]
 //                  [--trace-out=PATH] [--metrics-out=PATH]
 //
@@ -109,6 +123,7 @@
 #include "common/thread_pool.h"
 #include "dhs/client.h"
 #include "dhs/front_door.h"
+#include "dhs/serving.h"
 #include "dht/chord.h"
 #include "dht/fault.h"
 #include "dht/kademlia.h"
@@ -1047,6 +1062,357 @@ class DifferentialSim {
   size_t crash_log_seen_ = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Serving differential leg (--serving)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<DhtNetwork> MakeOverlayNetwork(Geometry geometry) {
+  OverlayConfig config;
+  config.hasher = "mix";
+  if (geometry == Geometry::kChord) {
+    return std::make_unique<ChordNetwork>(config);
+  }
+  return std::make_unique<KademliaNetwork>(config);
+}
+
+/// Serializes every observable of a world — clock, message and fault
+/// stats, every live store record — for the end-of-run byte-identity
+/// check between the serving world and the replay world.
+std::string ServingWorldDigest(const DhtNetwork& net) {
+  std::ostringstream os;
+  os << "now " << net.now() << " stats " << net.stats().messages << ' '
+     << net.stats().hops << ' ' << net.stats().bytes << " storage "
+     << net.TotalStorageBytes() << '\n';
+  const FaultStats& fs = net.fault_plan().stats();
+  os << "faults " << fs.drops << ' ' << fs.timeouts << ' ' << fs.crashes
+     << ' ' << fs.decisions << '\n';
+  for (uint64_t id : net.NodeIds()) {
+    net.StoreAt(id)->ForEach(
+        net.now(), [&](const StoreKey& key, const StoreRecord& rec) {
+          os << "rec " << id << ' ' << key.ToBytes() << ' ' << rec.dht_key
+             << ' ' << rec.value << ' ' << rec.expires_at << '\n';
+        });
+  }
+  return os.str();
+}
+
+/// Twin-world checker: a DhsServing front end (coalescing, frontier
+/// cache, online lim tuner) versus a plain DhsClient replaying the
+/// serving layer's wave log with identically seeded randomness. Any
+/// divergence aborts with a CHECK naming the step.
+class ServingDifferential {
+ public:
+  ServingDifferential(const SimOptions& options, Geometry geometry)
+      : options_(options),
+        geometry_(geometry),
+        serving_net_(MakeOverlayNetwork(geometry)),
+        plain_net_(MakeOverlayNetwork(geometry)),
+        schedule_(options.seed),
+        serve_rng_(options.seed ^ 0xf00df00dull),
+        replay_rng_(options.seed ^ 0xf00df00dull),
+        item_hasher_(options.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+  std::string Run() {
+    Bootstrap();
+    for (step_ = 0; step_ < options_.steps; ++step_) {
+      // Fault segments: the plan toggles only at a flush boundary, so
+      // both worlds flip at the same point of the message stream.
+      if (faults_configured_ && step_ % 4000 == 2000) SetFaults(true);
+      if (faults_configured_ && step_ > 0 && step_ % 4000 == 0) {
+        SetFaults(false);
+      }
+      const uint64_t roll = schedule_.UniformU64(100);
+      if (roll < 30) {
+        SubmitInsert();
+      } else if (roll < 78) {
+        SubmitCount();  // count-heavy: coalescing is the point
+      } else if (roll < 90) {
+        FlushAndReplay();
+      } else if (roll < 96) {
+        Tick();
+      } else {
+        Churn();
+      }
+      // Bound an epoch so ticket books cannot grow without limit.
+      if (count_tickets_.size() + insert_tickets_.size() >= 64) {
+        FlushAndReplay();
+      }
+    }
+    FlushAndReplay();
+    serving_net_->ClearFaultPlan();
+    plain_net_->ClearFaultPlan();
+    CheckWorldsIdentical();
+    CHECK_OK(serving_net_->AuditFull()) << "serving world audit";
+    CHECK_OK(plain_net_->AuditFull()) << "plain world audit";
+    CHECK_OK(serving_client_->AuditFull()) << "serving client audit";
+    CHECK_OK(plain_client_->AuditFull()) << "plain client audit";
+
+    const ServingStats& stats = serving_->stats();
+    char line[224];
+    std::snprintf(line, sizeof(line),
+                  "audit_sim: serving/%s/%s: seed %" PRIu64 ": %d steps, "
+                  "%" PRIu64 " count reqs -> %" PRIu64 " waves (%" PRIu64
+                  " coalesced), %" PRIu64 " insert reqs, %" PRIu64
+                  " degraded, lim %d, 0 divergences\n",
+                  serving_net_->GeometryName(),
+                  DhsEstimatorName(options_.estimator), options_.seed,
+                  options_.steps, stats.count_requests, stats.count_waves,
+                  stats.coalesced, stats.insert_requests,
+                  stats.degraded_waves, serving_->lim_override());
+    return line;
+  }
+
+ private:
+  static constexpr size_t kMinNodes = 48;
+  static constexpr size_t kMaxNodes = 96;
+
+  void Bootstrap() {
+    Rng setup(options_.seed ^ 0x5eed5eedull);
+    for (size_t i = 0; i < 64; ++i) {
+      const uint64_t id = setup.Next();
+      CHECK_OK(serving_net_->AddNode(id)) << "bootstrap join";
+      CHECK_OK(plain_net_->AddNode(id)) << "bootstrap join (plain)";
+    }
+    DhsConfig config;
+    config.k = 24;
+    config.m = 16;
+    config.estimator = options_.estimator;
+    config.replication = 2;
+    config.ttl_ticks = 600;
+    config.frontier_cache = true;
+    auto sc = DhsClient::Create(serving_net_.get(), config);
+    CHECK_OK(sc) << "serving client";
+    serving_client_ = std::make_unique<DhsClient>(std::move(sc.value()));
+    auto pc = DhsClient::Create(plain_net_.get(), config);
+    CHECK_OK(pc) << "plain client";
+    plain_client_ = std::make_unique<DhsClient>(std::move(pc.value()));
+
+    DhsServingConfig serving_config;
+    // Tuner on: the replay must reproduce answers under a lim_override
+    // that drifts over the run (it rides each wave-log entry).
+    serving_config.tune_lim = true;
+    auto serving = DhsServing::Create(serving_client_.get(), serving_config);
+    CHECK_OK(serving) << "serving layer";
+    serving_ = std::make_unique<DhsServing>(std::move(serving.value()));
+
+    faults_configured_ = options_.faults.Any();
+    CHECK(options_.faults.crash_probability == 0.0)
+        << "--serving is incompatible with --crash";
+  }
+
+  void SetFaults(bool on) {
+    FlushAndReplay();  // both worlds must flip at the same message
+    if (on) {
+      FaultConfig faults = options_.faults;
+      faults.seed = SplitMix64(options_.seed ^ 0xfa017fa017fa017full);
+      CHECK_OK(serving_net_->SetFaultPlan(faults)) << "serving fault plan";
+      CHECK_OK(plain_net_->SetFaultPlan(faults)) << "plain fault plan";
+    } else {
+      serving_net_->ClearFaultPlan();
+      plain_net_->ClearFaultPlan();
+    }
+  }
+
+  void SubmitInsert() {
+    const uint64_t metric = 1 + schedule_.UniformU64(4);
+    const uint64_t n = 1 + schedule_.UniformU64(120);
+    std::vector<uint64_t> items;
+    items.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      items.push_back(item_hasher_.HashU64(next_item_++));
+    }
+    const uint64_t origin = serving_net_->RandomNode(schedule_);
+    insert_tickets_.push_back(
+        serving_->SubmitInsertBatch(origin, metric, std::move(items)));
+  }
+
+  void SubmitCount() {
+    std::vector<uint64_t> set;
+    set.push_back(1 + schedule_.UniformU64(4));
+    if (schedule_.UniformU64(2) == 0) {
+      const uint64_t extra = 1 + schedule_.UniformU64(4);
+      if (extra != set[0]) set.push_back(extra);
+    }
+    const uint64_t origin = serving_net_->RandomNode(schedule_);
+    count_tickets_.push_back({serving_->SubmitCount(origin, set), set});
+  }
+
+  void Tick() {
+    const uint64_t ticks = 1 + schedule_.UniformU64(8);
+    serving_net_->AdvanceClock(ticks);
+    plain_net_->AdvanceClock(ticks);
+  }
+
+  /// Mirrored membership change. Requires an empty epoch so no pending
+  /// request's origin can leave before its wave executes.
+  void Churn() {
+    FlushAndReplay();
+    const size_t n = serving_net_->NumNodes();
+    const bool join = n <= kMinNodes ||
+                      (n < kMaxNodes && schedule_.UniformU64(2) == 0);
+    if (join) {
+      const uint64_t id = schedule_.Next();
+      CHECK_OK(serving_net_->AddNode(id)) << "step " << step_ << ": join";
+      CHECK_OK(plain_net_->AddNode(id)) << "step " << step_ << ": join";
+    } else {
+      const uint64_t victim = serving_net_->RandomNode(schedule_);
+      CHECK_OK(serving_net_->RemoveNode(victim))
+          << "step " << step_ << ": leave";
+      CHECK_OK(plain_net_->RemoveNode(victim))
+          << "step " << step_ << ": leave (plain)";
+    }
+  }
+
+  void CheckSameMulti(const DhsClient::MultiCountResult& served,
+                      const DhsClient::MultiCountResult& replayed,
+                      const char* what) const {
+    CHECK(served.estimates == replayed.estimates)
+        << "step " << step_ << ": " << what << ": estimates diverge";
+    CHECK(served.observables == replayed.observables)
+        << "step " << step_ << ": " << what << ": observables diverge";
+    CHECK_EQ(served.gave_up, replayed.gave_up)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(served.bitmaps_unresolved, replayed.bitmaps_unresolved)
+        << "step " << step_ << ": " << what;
+    CheckSameCost(served.cost, replayed.cost, what);
+  }
+
+  void CheckSameCost(const DhsCostReport& a, const DhsCostReport& b,
+                     const char* what) const {
+    CHECK_EQ(a.nodes_visited, b.nodes_visited)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(a.hops, b.hops) << "step " << step_ << ": " << what;
+    CHECK_EQ(a.bytes, b.bytes) << "step " << step_ << ": " << what;
+    CHECK_EQ(a.dht_lookups, b.dht_lookups)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(a.direct_probes, b.direct_probes)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(a.retries, b.retries) << "step " << step_ << ": " << what;
+    CHECK_EQ(a.failed_probes, b.failed_probes)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(a.replicas_requested, b.replicas_requested)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(a.replicas_written, b.replicas_written)
+        << "step " << step_ << ": " << what;
+    CHECK_EQ(a.bit_groups_failed, b.bit_groups_failed)
+        << "step " << step_ << ": " << what;
+  }
+
+  /// Flushes the serving world, replays its wave log through the plain
+  /// client, and cross-checks every waiter's answer against the
+  /// replayed wave. Clears the epoch's books afterwards.
+  void FlushAndReplay() {
+    if (count_tickets_.empty() && insert_tickets_.empty()) return;
+    const Status flushed = serving_->Flush(serve_rng_);
+    (void)flushed;  // per-ticket results carry any fault-path failure
+
+    // Group the epoch's count tickets exactly as FlushCounts does: by
+    // metric set, first-seen order.
+    std::map<std::vector<uint64_t>, std::vector<uint64_t>> by_set;
+    std::vector<const std::vector<uint64_t>*> group_order;
+    for (const PendingCountTicket& pc : count_tickets_) {
+      auto [it, inserted] = by_set.emplace(pc.set, std::vector<uint64_t>{});
+      if (inserted) group_order.push_back(&it->first);
+      it->second.push_back(pc.ticket);
+    }
+
+    size_t insert_i = 0;
+    size_t group_i = 0;
+    for (const ServingWave& wave : serving_->wave_log()) {
+      switch (wave.kind) {
+        case ServingWave::kInsertWave: {
+          auto replayed = plain_client_->InsertBatch(
+              wave.origin, wave.metric_id, wave.hashes, replay_rng_);
+          CHECK_LT(insert_i, insert_tickets_.size())
+              << "step " << step_ << ": more insert waves than tickets";
+          auto served = serving_->TakeInsert(insert_tickets_[insert_i++]);
+          CHECK_EQ(served.ok(), replayed.ok())
+              << "step " << step_ << ": insert status diverges: "
+              << served.status().ToString() << " vs "
+              << replayed.status().ToString();
+          if (served.ok()) {
+            CheckSameCost(served.value(), replayed.value(), "insert wave");
+          }
+          break;
+        }
+        case ServingWave::kCountWave: {
+          DhsCountOptions options;
+          options.lim_override = wave.lim_override;
+          auto replayed = plain_client_->CountMany(
+              wave.origin, wave.metric_ids, replay_rng_, options);
+          CHECK_LT(group_i, group_order.size())
+              << "step " << step_ << ": more count waves than groups";
+          const std::vector<uint64_t>& tickets = by_set[*group_order[group_i]];
+          CHECK_EQ(tickets.size(), wave.waiters)
+              << "step " << step_ << ": waiter count diverges";
+          ++group_i;
+          for (uint64_t ticket : tickets) {
+            auto served = serving_->TakeCount(ticket);
+            CHECK_EQ(served.ok(), replayed.ok())
+                << "step " << step_ << ": count status diverges: "
+                << served.status().ToString() << " vs "
+                << replayed.status().ToString();
+            if (served.ok()) {
+              CheckSameMulti(served.value(), replayed.value(), "count wave");
+            }
+          }
+          break;
+        }
+        case ServingWave::kInvalidate:
+          plain_client_->InvalidateFrontier(wave.metric_id);
+          break;
+      }
+    }
+    CHECK_EQ(group_i, group_order.size())
+        << "step " << step_ << ": count groups without a wave";
+    CHECK_EQ(insert_i, insert_tickets_.size())
+        << "step " << step_ << ": insert tickets without a wave";
+    serving_->ClearWaveLog();
+    count_tickets_.clear();
+    insert_tickets_.clear();
+
+    // The two worlds must stay in lockstep at every epoch boundary.
+    CHECK_EQ(serving_net_->stats().messages, plain_net_->stats().messages)
+        << "step " << step_ << ": message stats diverge";
+    CHECK_EQ(serving_net_->stats().hops, plain_net_->stats().hops)
+        << "step " << step_ << ": hop stats diverge";
+    CHECK_EQ(serving_net_->stats().bytes, plain_net_->stats().bytes)
+        << "step " << step_ << ": byte stats diverge";
+    CHECK_EQ(serving_net_->fault_plan().stats().decisions,
+             plain_net_->fault_plan().stats().decisions)
+        << "step " << step_ << ": fault decision streams diverge";
+  }
+
+  void CheckWorldsIdentical() const {
+    CHECK(ServingWorldDigest(*serving_net_) ==
+          ServingWorldDigest(*plain_net_))
+        << "final world digests diverge after " << options_.steps
+        << " steps";
+  }
+
+  struct PendingCountTicket {
+    uint64_t ticket;
+    std::vector<uint64_t> set;
+  };
+
+  SimOptions options_;
+  Geometry geometry_;
+  std::unique_ptr<DhtNetwork> serving_net_;
+  std::unique_ptr<DhtNetwork> plain_net_;
+  std::unique_ptr<DhsClient> serving_client_;
+  std::unique_ptr<DhsClient> plain_client_;
+  std::unique_ptr<DhsServing> serving_;
+  Rng schedule_;
+  Rng serve_rng_;
+  Rng replay_rng_;
+  MixHasher item_hasher_;
+  std::vector<PendingCountTicket> count_tickets_;
+  std::vector<uint64_t> insert_tickets_;
+  int step_ = 0;
+  uint64_t next_item_ = 0;
+  bool faults_configured_ = false;
+};
+
 /// Adversarial schedule exploration (--interleave=N): per geometry,
 /// one 1-shard engine-oracle run pins the expected world digest, then
 /// up to N controlled interleavings of the K-shard engine — every task
@@ -1123,6 +1489,7 @@ int RunInterleave(const SimOptions& base,
 int Main(int argc, char** argv) {
   SimOptions options;
   bool both = true;  // default: both geometries, one report each
+  bool serving_mode = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--steps=", 0) == 0) {
@@ -1151,6 +1518,8 @@ int Main(int argc, char** argv) {
       options.interleave_exhaustive = false;
     } else if (arg == "--interleave-mode=exhaustive") {
       options.interleave_exhaustive = true;
+    } else if (arg == "--serving") {
+      serving_mode = true;
     } else if (arg.rfind("--schedules=", 0) == 0) {
       options.schedules = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -1172,7 +1541,7 @@ int Main(int argc, char** argv) {
                    "[--steps=N] [--seed=S] [--estimator=sll|pcsa|hll] "
                    "[--shards=K] [--schedules=K] [--jobs=J] "
                    "[--interleave=N] [--interleave-mode=pct|exhaustive] "
-                   "[--drop=P] [--timeout=P] [--crash=P] "
+                   "[--serving] [--drop=P] [--timeout=P] [--crash=P] "
                    "[--trace-out=PATH] [--metrics-out=PATH]\n");
       return 2;
     }
@@ -1192,6 +1561,16 @@ int Main(int argc, char** argv) {
   if (options.interleave > 0) {
     if (options.shards < 2) options.shards = 4;  // controller needs workers
     return RunInterleave(options, geometries);
+  }
+
+  if (serving_mode) {
+    CHECK(options.faults.crash_probability == 0.0)
+        << "--serving is incompatible with --crash";
+    for (Geometry g : geometries) {
+      ServingDifferential sim(options, g);
+      std::fputs(sim.Run().c_str(), stdout);
+    }
+    return 0;
   }
 
   // Each schedule is one fully independent world per geometry; RunTrials
